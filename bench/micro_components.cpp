@@ -1,0 +1,117 @@
+// Component microbenchmarks (google-benchmark): the hot paths of the
+// measurement apparatus — SHA-1, bencode, tracker announces over a large
+// swarm, peer sampling, and session reconstruction.
+#include <benchmark/benchmark.h>
+
+#include "analysis/session.hpp"
+#include "bencode/bencode.hpp"
+#include "crypto/sha1.hpp"
+#include "torrent/metainfo.hpp"
+#include "tracker/tracker.hpp"
+
+namespace btpub {
+namespace {
+
+void BM_Sha1Hash(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Hash)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_BencodeEncodeMetainfo(benchmark::State& state) {
+  const Metainfo metainfo = Metainfo::make(
+      "http://tracker.example/announce", "Some.Release.2010",
+      {{"Some.Release.2010.avi", 734003200}, {"Some.Release.2010.nfo", 4096}},
+      256 * 1024, "salt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metainfo.encode());
+  }
+}
+BENCHMARK(BM_BencodeEncodeMetainfo);
+
+void BM_BencodeParseMetainfo(benchmark::State& state) {
+  const std::string bytes =
+      Metainfo::make("http://tracker.example/announce", "Some.Release.2010",
+                     {{"Some.Release.2010.avi", 734003200}}, 256 * 1024, "salt")
+          .encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Metainfo::parse(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BencodeParseMetainfo);
+
+Swarm make_swarm(std::size_t peers) {
+  Swarm swarm(Sha1::hash("bench"), 1024, 0);
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    PeerSession s;
+    s.endpoint = Endpoint{IpAddress(0x0D000000 + i), 6881};
+    s.arrive = static_cast<SimTime>(i % 1000);
+    s.depart = days(30);
+    if (i % 7 == 0) s.complete_at = s.arrive + hours(2);
+    swarm.add_session(s);
+  }
+  swarm.finalize();
+  return swarm;
+}
+
+void BM_TrackerAnnounce(benchmark::State& state) {
+  Swarm swarm = make_swarm(static_cast<std::size_t>(state.range(0)));
+  Tracker tracker(TrackerConfig{}, Rng(1));
+  tracker.host_swarm(swarm);
+  AnnounceRequest request;
+  request.infohash = swarm.infohash();
+  request.numwant = 200;
+  request.now = days(1);
+  std::uint32_t client = 0;
+  for (auto _ : state) {
+    request.client = Endpoint{IpAddress(0x0E000000 + (client++ & 0xffff)), 1};
+    benchmark::DoNotOptimize(tracker.announce(request));
+  }
+}
+BENCHMARK(BM_TrackerAnnounce)->Arg(100)->Arg(5000)->Arg(50000);
+
+void BM_SwarmSweepAdvance(benchmark::State& state) {
+  Swarm swarm = make_swarm(50000);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += minutes(12);
+    if (t > days(29)) {
+      t = 0;  // triggers the rebuild slow path once per wrap
+    }
+    benchmark::DoNotOptimize(swarm.counts_at(t));
+  }
+}
+BENCHMARK(BM_SwarmSweepAdvance);
+
+void BM_ReconstructSessions(benchmark::State& state) {
+  std::vector<SimTime> sightings;
+  Rng rng(2);
+  SimTime t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += minutes(10) + static_cast<SimDuration>(rng.uniform_int(0, minutes(20)));
+    if (i % 50 == 49) t += hours(9);  // periodic offline gaps
+    sightings.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reconstruct_sessions(sightings, hours(4)));
+  }
+}
+BENCHMARK(BM_ReconstructSessions);
+
+void BM_DiscoveryProbability(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(discovery_probability(50, 165, 13));
+  }
+}
+BENCHMARK(BM_DiscoveryProbability);
+
+}  // namespace
+}  // namespace btpub
+
+BENCHMARK_MAIN();

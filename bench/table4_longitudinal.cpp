@@ -1,0 +1,46 @@
+// Table 4 — lifetime and average publishing rate for the business classes
+// of top publishers (BT Portals / Other Web Sites / Altruistic), from the
+// portal's per-user history pages.
+#include "analysis/classify.hpp"
+#include "analysis/longitudinal.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace btpub;
+
+int main() {
+  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  bench::banner("Table 4", "Lifetime and publishing rate per business class",
+                "BT Portals 63/466/1816 days at 0.57/11.43/79.91 per day; "
+                "Other Webs rate 0.38/4.31/18.98; Altruistic 10/376/1899 days "
+                "at 0.10/3.80/23.67 (min/avg/max, full scale)",
+                pb10);
+
+  auto ecosystem = bench::build_ecosystem(pb10);
+  const Dataset dataset = bench::dataset_for(pb10, *ecosystem);
+  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100);
+  Rng rng(pb10.seed);
+  const auto classification =
+      classify_top_publishers(dataset, identity, ecosystem->websites(), 5, rng);
+
+  AsciiTable table("Table 4 — per-class lifetime and publishing rate");
+  table.header({"class", "lifetime days (min/med/avg/max)",
+                "rate per day (min/med/avg/max)", "publishers"});
+  for (const LongitudinalRow& row : longitudinal_table(dataset, classification)) {
+    auto fmt = [](const SummaryRow& s) {
+      return format_double(s.min, 2) + " / " + format_double(s.median, 2) +
+             " / " + format_double(s.avg, 2) + " / " + format_double(s.max, 2);
+    };
+    table.row({std::string(to_string(row.cls)), fmt(row.lifetime_days),
+               fmt(row.publish_rate), std::to_string(row.publishers)});
+  }
+  table.note("rates are at the scenario's rate scale (" +
+             format_double(pb10.population.rate_scale, 2) +
+             "x of full scale); lifetimes are unscaled.");
+  table.note("shape to match: profit-driven classes out-publish altruistic");
+  table.note("ones; portal owners have the highest rates; lifetimes of");
+  table.note("hundreds of days across all classes.");
+  table.print();
+  return 0;
+}

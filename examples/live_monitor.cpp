@@ -1,0 +1,137 @@
+// live_monitor — the paper's §7 software: a system that continuously
+// monitors new content published on the portal and reports, in (simulated)
+// real time, each content's publisher, category, and — where identifiable —
+// the publisher's IP, ISP, and location. Profit-driven publishers get an
+// inline "publisher page" with their promoting URL and business type, and
+// content from detected fake accounts is flagged (the filtering feature the
+// paper describes as future work).
+//
+// The monitor runs on the discrete-event engine: an RSS poll every five
+// minutes drives single tracker queries, exactly like the real deployment.
+//
+// Build & run:   ./build/examples/live_monitor [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "analysis/classify.hpp"
+#include "core/ecosystem.hpp"
+#include "crawler/crawler.hpp"
+#include "portal/rss.hpp"
+#include "sim/event_queue.hpp"
+#include "util/strings.hpp"
+
+using namespace btpub;
+
+namespace {
+
+/// The monitoring database of §7: per-content rows plus per-publisher pages.
+class MonitorDb {
+ public:
+  MonitorDb(const GeoDb& geo, const WebsiteDirectory& websites)
+      : geo_(&geo), websites_(&websites) {}
+
+  void on_content(const TorrentRecord& record, SimTime now) {
+    ++contents_;
+    std::string location = "-";
+    std::string isp = "-";
+    if (record.publisher_ip) {
+      if (const auto loc = geo_->lookup(*record.publisher_ip)) {
+        isp = std::string(loc->isp_name);
+        location = std::string(loc->city) + ", " + std::string(loc->country);
+      }
+    }
+    const bool flagged = fake_accounts_.contains(record.username);
+    std::printf("[%s] %-44.44s %-9.9s user=%-14.14s ip=%-15s isp=%-12.12s %s%s\n",
+                format_duration(now).c_str(), record.title.c_str(),
+                std::string(to_string(record.category)).c_str(),
+                record.username.c_str(),
+                record.publisher_ip ? record.publisher_ip->to_string().c_str()
+                                    : "-",
+                isp.c_str(), location.c_str(),
+                flagged ? "  << FAKE-PUBLISHER FILTER" : "");
+
+    // Publisher page for promoters (the per-publisher web page of §7).
+    if (const auto promo = find_promotion(record)) {
+      if (publisher_pages_.insert(record.username).second) {
+        std::string business = "unknown site";
+        if (const auto view = websites_->visit(promo->domain)) {
+          business = view->torrent_index ? "private BitTorrent portal"
+                                         : "other web business";
+        }
+        std::printf("          publisher page: %s promotes http://www.%s/ "
+                    "(%s)\n",
+                    record.username.c_str(), promo->domain.c_str(),
+                    business.c_str());
+      }
+    }
+  }
+
+  void on_removal(const std::string& username) {
+    fake_accounts_.insert(username);
+  }
+
+  std::size_t contents() const { return contents_; }
+  std::size_t flagged_accounts() const { return fake_accounts_.size(); }
+
+ private:
+  const GeoDb* geo_;
+  const WebsiteDirectory* websites_;
+  std::size_t contents_ = 0;
+  std::unordered_set<std::string> publisher_pages_;
+  std::unordered_set<std::string> fake_accounts_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+
+  ScenarioConfig config = ScenarioConfig::quick(seed);
+  config.window = days(2);  // keep the live log short
+  Ecosystem ecosystem(config);
+  ecosystem.build();
+
+  Crawler crawler(ecosystem.portal(), ecosystem.tracker(), ecosystem.network(),
+                  ecosystem.geo(), CrawlerConfig{}, Rng(seed));
+  MonitorDb db(ecosystem.geo(), ecosystem.websites());
+
+  std::printf("monitoring portal '%s' for %lld simulated days...\n\n",
+              ecosystem.portal().name().c_str(),
+              static_cast<long long>(config.window / kDay));
+
+  EventQueue queue;
+  TorrentId last_seen = kInvalidTorrent;
+  std::function<void()> poll = [&] {
+    const SimTime now = queue.now();
+    // 1. Fetch the RSS feed — as real XML — and parse it, exactly like a
+    // 2010 feed reader would.
+    const std::string xml = render_rss(
+        ecosystem.portal().name(), ecosystem.portal().rss_since(last_seen, now));
+    for (const RssItem& item : parse_rss(xml).items) {
+      last_seen = std::max(last_seen == kInvalidTorrent ? item.id : last_seen,
+                           item.id);
+      std::vector<IpAddress> ips;
+      std::vector<SimTime> sightings;
+      if (const auto record = crawler.discover(item.id, now, ips, sightings)) {
+        db.on_content(*record, now);
+      }
+    }
+    // 2. Learn from moderation: accounts whose content vanished are fake.
+    for (TorrentId id = 0; id <= ecosystem.portal().newest_id() &&
+                           id != kInvalidTorrent;
+         ++id) {
+      const auto page = ecosystem.portal().page(id, now);
+      if (page && page->removed) db.on_removal(page->username);
+    }
+    if (now < config.window) queue.schedule_in(minutes(5), poll);
+  };
+  queue.schedule_at(0, poll);
+  queue.run();
+
+  std::printf("\nmonitored %zu contents; fake-publisher filter knows %zu "
+              "banned accounts\n",
+              db.contents(), db.flagged_accounts());
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "analysis/demographics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace btpub {
+namespace {
+
+std::vector<DemographicRow> to_rows(
+    const std::unordered_map<std::string, std::size_t>& counts,
+    std::size_t total, std::size_t top_k) {
+  std::vector<DemographicRow> rows;
+  rows.reserve(counts.size());
+  for (const auto& [label, count] : counts) {
+    DemographicRow row;
+    row.label = label;
+    row.downloaders = count;
+    row.share = total ? static_cast<double>(count) / static_cast<double>(total)
+                      : 0.0;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const DemographicRow& a, const DemographicRow& b) {
+              if (a.downloaders != b.downloaders) {
+                return a.downloaders > b.downloaders;
+              }
+              return a.label < b.label;
+            });
+  if (top_k > 0 && rows.size() > top_k) rows.resize(top_k);
+  return rows;
+}
+
+}  // namespace
+
+DownloaderDemographics downloader_demographics(const Dataset& dataset,
+                                               const GeoDb& geo,
+                                               std::size_t top_k) {
+  DownloaderDemographics demo;
+  std::unordered_set<IpAddress> seen;
+  std::unordered_map<std::string, std::size_t> by_country;
+  std::unordered_map<std::string, std::size_t> by_isp;
+  for (const auto& torrent_ips : dataset.downloaders) {
+    for (const IpAddress& ip : torrent_ips) {
+      if (!seen.insert(ip).second) continue;
+      const auto loc = geo.lookup(ip);
+      if (!loc) continue;
+      ++demo.located_ips;
+      ++by_country[std::string(loc->country)];
+      ++by_isp[std::string(loc->isp_name)];
+    }
+  }
+  demo.total_distinct_ips = seen.size();
+  demo.by_country = to_rows(by_country, demo.located_ips, top_k);
+  demo.by_isp = to_rows(by_isp, demo.located_ips, top_k);
+  return demo;
+}
+
+std::vector<DemographicRow> publisher_countries(const Dataset& dataset,
+                                                const GeoDb& geo,
+                                                std::size_t top_k) {
+  std::unordered_map<std::string, std::size_t> counts;
+  std::size_t total = 0;
+  for (const TorrentRecord& record : dataset.torrents) {
+    if (!record.publisher_ip) continue;
+    const auto loc = geo.lookup(*record.publisher_ip);
+    if (!loc) continue;
+    ++counts[std::string(loc->country)];
+    ++total;
+  }
+  return to_rows(counts, total, top_k);
+}
+
+}  // namespace btpub

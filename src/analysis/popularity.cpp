@@ -1,0 +1,47 @@
+#include "analysis/popularity.hpp"
+
+namespace btpub {
+
+std::vector<double> avg_downloaders_per_publisher(const IdentityAnalysis& identity,
+                                                  TargetGroup group,
+                                                  std::size_t sample, Rng& rng) {
+  std::vector<const UsernameStats*> members = identity.members(group);
+  if (sample > 0 && members.size() > sample) {
+    std::vector<const UsernameStats*> chosen;
+    chosen.reserve(sample);
+    for (std::size_t index : rng.sample_indices(members.size(), sample)) {
+      chosen.push_back(members[index]);
+    }
+    members.swap(chosen);
+  }
+  std::vector<double> averages;
+  averages.reserve(members.size());
+  for (const UsernameStats* stats : members) {
+    if (stats->content_count == 0) continue;
+    averages.push_back(static_cast<double>(stats->download_count) /
+                       static_cast<double>(stats->content_count));
+  }
+  return averages;
+}
+
+PopularityBox popularity_box(const IdentityAnalysis& identity, TargetGroup group,
+                             std::size_t sample, Rng& rng) {
+  PopularityBox box;
+  box.group = group;
+  const auto averages = avg_downloaders_per_publisher(identity, group, sample, rng);
+  box.box = box_stats(averages);
+  return box;
+}
+
+std::vector<PopularityBox> popularity_panel(const IdentityAnalysis& identity,
+                                            std::size_t all_sample, Rng& rng) {
+  std::vector<PopularityBox> panel;
+  panel.push_back(popularity_box(identity, TargetGroup::All, all_sample, rng));
+  for (const TargetGroup group : {TargetGroup::Fake, TargetGroup::Top,
+                                  TargetGroup::TopHP, TargetGroup::TopCI}) {
+    panel.push_back(popularity_box(identity, group, 0, rng));
+  }
+  return panel;
+}
+
+}  // namespace btpub

@@ -1,0 +1,32 @@
+// popularity.hpp — content-popularity analysis (paper §4.2, Figure 3):
+// the distribution, across a group's publishers, of each publisher's
+// average number of downloaders per torrent.
+#pragma once
+
+#include "analysis/groups.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace btpub {
+
+/// The Figure-3 box for one group.
+struct PopularityBox {
+  TargetGroup group = TargetGroup::All;
+  BoxStats box;  // over per-publisher average downloaders per torrent
+};
+
+/// Per-publisher averages for a group. When `sample` is nonzero the group
+/// is subsampled to that many publishers (the paper's random 400 for
+/// "All"); sampling is deterministic in `rng`.
+std::vector<double> avg_downloaders_per_publisher(const IdentityAnalysis& identity,
+                                                  TargetGroup group,
+                                                  std::size_t sample, Rng& rng);
+
+PopularityBox popularity_box(const IdentityAnalysis& identity, TargetGroup group,
+                             std::size_t sample, Rng& rng);
+
+/// The whole Figure-3 panel; "All" is subsampled to `all_sample`.
+std::vector<PopularityBox> popularity_panel(const IdentityAnalysis& identity,
+                                            std::size_t all_sample, Rng& rng);
+
+}  // namespace btpub

@@ -1,0 +1,235 @@
+#include "bencode/bencode.hpp"
+
+#include <charconv>
+
+namespace btpub::bencode {
+
+Value::Value(std::int64_t v) : type_(Type::Integer), integer_(v) {}
+Value::Value(std::string v) : type_(Type::String), string_(std::move(v)) {}
+Value::Value(List v) : type_(Type::List), list_(std::make_shared<List>(std::move(v))) {}
+Value::Value(Dict v) : type_(Type::Dict), dict_(std::make_shared<Dict>(std::move(v))) {}
+
+std::int64_t Value::as_integer() const {
+  if (!is_integer()) throw Error("bencode: value is not an integer");
+  return integer_;
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw Error("bencode: value is not a string");
+  return string_;
+}
+
+const List& Value::as_list() const {
+  if (!is_list()) throw Error("bencode: value is not a list");
+  return *list_;
+}
+
+const Dict& Value::as_dict() const {
+  if (!is_dict()) throw Error("bencode: value is not a dict");
+  return *dict_;
+}
+
+List& Value::as_list() {
+  if (!is_list()) throw Error("bencode: value is not a list");
+  return *list_;
+}
+
+Dict& Value::as_dict() {
+  if (!is_dict()) throw Error("bencode: value is not a dict");
+  return *dict_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_dict()) return nullptr;
+  const auto it = dict_->find(std::string(key));
+  return it == dict_->end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw Error("bencode: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+std::optional<std::int64_t> Value::find_integer(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_integer()) return std::nullopt;
+  return v->as_integer();
+}
+
+std::optional<std::string> Value::find_string(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Value::Type::Integer:
+      return a.integer_ == b.integer_;
+    case Value::Type::String:
+      return a.string_ == b.string_;
+    case Value::Type::List:
+      return *a.list_ == *b.list_;
+    case Value::Type::Dict:
+      return *a.dict_ == *b.dict_;
+  }
+  return false;
+}
+
+namespace {
+
+void encode_into(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::Integer:
+      out += 'i';
+      out += std::to_string(v.as_integer());
+      out += 'e';
+      break;
+    case Value::Type::String: {
+      const std::string& s = v.as_string();
+      out += std::to_string(s.size());
+      out += ':';
+      out += s;
+      break;
+    }
+    case Value::Type::List:
+      out += 'l';
+      for (const Value& item : v.as_list()) encode_into(item, out);
+      out += 'e';
+      break;
+    case Value::Type::Dict:
+      out += 'd';
+      for (const auto& [key, val] : v.as_dict()) {
+        out += std::to_string(key.size());
+        out += ':';
+        out += key;
+        encode_into(val, out);
+      }
+      out += 'e';
+      break;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view data, std::size_t pos) : data_(data), pos_(pos) {}
+
+  Value parse_value(int depth = 0) {
+    if (depth > kMaxDepth) throw Error("bencode: nesting too deep");
+    const char c = peek();
+    if (c == 'i') return parse_integer();
+    if (c == 'l') return parse_list(depth);
+    if (c == 'd') return parse_dict(depth);
+    if (c >= '0' && c <= '9') return Value(parse_string());
+    throw Error("bencode: unexpected byte at offset " + std::to_string(pos_));
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  char peek() const {
+    if (pos_ >= data_.size()) throw Error("bencode: truncated input");
+    return data_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  std::int64_t parse_raw_integer(char terminator) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < data_.size() && data_[pos_] >= '0' && data_[pos_] <= '9') ++pos_;
+    if (pos_ == start || (data_[start] == '-' && pos_ == start + 1)) {
+      throw Error("bencode: malformed integer");
+    }
+    // i-0e and leading zeroes are invalid per BEP 3.
+    const std::string_view digits = data_.substr(start, pos_ - start);
+    if (digits == "-0" ||
+        (digits.size() > 1 && digits[0] == '0') ||
+        (digits.size() > 2 && digits[0] == '-' && digits[1] == '0')) {
+      throw Error("bencode: non-canonical integer");
+    }
+    std::int64_t value = 0;
+    const auto result =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (result.ec != std::errc{}) throw Error("bencode: integer out of range");
+    if (take() != terminator) throw Error("bencode: bad integer terminator");
+    return value;
+  }
+
+  Value parse_integer() {
+    take();  // 'i'
+    return Value(parse_raw_integer('e'));
+  }
+
+  std::string parse_string() {
+    const std::int64_t len = parse_raw_integer(':');
+    if (len < 0) throw Error("bencode: negative string length");
+    const auto n = static_cast<std::size_t>(len);
+    if (pos_ + n > data_.size()) throw Error("bencode: string exceeds input");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  Value parse_list(int depth) {
+    take();  // 'l'
+    List list;
+    while (peek() != 'e') list.push_back(parse_value(depth + 1));
+    take();  // 'e'
+    return Value(std::move(list));
+  }
+
+  Value parse_dict(int depth) {
+    take();  // 'd'
+    Dict dict;
+    std::string prev_key;
+    bool first = true;
+    while (peek() != 'e') {
+      std::string key = parse_string();
+      if (!first && key <= prev_key) {
+        throw Error("bencode: dict keys not strictly ascending");
+      }
+      Value value = parse_value(depth + 1);
+      prev_key = key;
+      first = false;
+      dict.emplace(std::move(key), std::move(value));
+    }
+    take();  // 'e'
+    return Value(std::move(dict));
+  }
+
+  std::string_view data_;
+  std::size_t pos_;
+};
+
+}  // namespace
+
+std::string encode(const Value& v) {
+  std::string out;
+  encode_into(v, out);
+  return out;
+}
+
+Value decode(std::string_view data) {
+  std::size_t pos = 0;
+  Value v = decode_prefix(data, pos);
+  if (pos != data.size()) throw Error("bencode: trailing bytes after value");
+  return v;
+}
+
+Value decode_prefix(std::string_view data, std::size_t& pos) {
+  Parser p(data, pos);
+  Value v = p.parse_value();
+  pos = p.pos();
+  return v;
+}
+
+}  // namespace btpub::bencode

@@ -1,0 +1,235 @@
+#include "core/ecosystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "crawler/crawler.hpp"
+#include "torrent/metainfo.hpp"
+
+namespace btpub {
+namespace {
+
+std::size_t sample_poisson_count(double mean, Rng& rng) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::size_t k = 0;
+    double product = rng.uniform();
+    while (product > limit) {
+      ++k;
+      product *= rng.uniform();
+    }
+    return k;
+  }
+  const double draw = rng.normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(draw));
+}
+
+}  // namespace
+
+Ecosystem::Ecosystem(ScenarioConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      catalog_(IspCatalog::standard()),
+      portal_("the-sim-bay"),
+      panel_(AppraisalPanel::standard()) {}
+
+void Ecosystem::build() {
+  if (built_) throw std::logic_error("Ecosystem::build called twice");
+  built_ = true;
+
+  Rng population_rng = rng_.fork();
+  population_ = build_population(config_.population, catalog_, population_rng);
+
+  tracker_ = std::make_unique<Tracker>(config_.tracker, rng_.fork());
+
+  consumers_ = std::make_unique<ConsumerPool>(catalog_, rng_.fork());
+  consumers_->set_sticky_bias(config_.sticky_consumer_bias);
+  for (const auto& [endpoint, weight] : population_.sticky_consumers) {
+    consumers_->add_sticky(endpoint, weight);
+  }
+  swarm_generator_ = std::make_unique<SwarmGenerator>(*consumers_);
+
+  backfill_history();
+  generate_publications();
+}
+
+void Ecosystem::backfill_history() {
+  // Longitudinal history (§5.2): publishers existed before the window; the
+  // portal's user pages carry their full record. Fake accounts need no
+  // history — their pages are purged after detection anyway.
+  const double window_days = to_days(config_.window);
+  for (const Publisher& p : population_.publishers) {
+    if (p.is_fake_farm()) continue;
+    const double days_before = p.lifetime_days - window_days;
+    if (days_before <= 0.0) continue;
+    const double mean = p.historical_rate * days_before;
+    const std::size_t n =
+        std::min<std::size_t>(sample_poisson_count(mean, rng_), 200000);
+    std::vector<SimTime> times;
+    times.reserve(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      times.push_back(-static_cast<SimTime>(rng_.uniform() * days_before *
+                                            static_cast<double>(kDay)));
+    }
+    // Pin the very first appearance so the lifetime is exact.
+    times.push_back(-static_cast<SimTime>(days_before * static_cast<double>(kDay)));
+    std::sort(times.begin(), times.end());
+    for (const SimTime t : times) {
+      portal_.record_historical_publish(p.usernames.front(), t);
+    }
+  }
+}
+
+void Ecosystem::generate_publications() {
+  struct Event {
+    SimTime at;
+    PublisherId publisher;
+  };
+  std::vector<Event> events;
+  const double window_days = to_days(config_.window);
+  for (const Publisher& p : population_.publishers) {
+    const double mean = p.window_rate * window_days;
+    const std::size_t n = sample_poisson_count(mean, rng_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime at = static_cast<SimTime>(rng_.uniform() *
+                                              static_cast<double>(config_.window));
+      events.push_back(Event{at, p.id});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.publisher < b.publisher;
+  });
+  swarms_.reserve(events.size());
+  truths_.reserve(events.size());
+  for (const Event& event : events) {
+    publish_one(population_.by_id(event.publisher), event.at);
+  }
+}
+
+TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
+  PublishedWork work = publisher.make_work(when, rng_);
+
+  Metainfo metainfo = Metainfo::make(
+      tracker_->announce_url(), work.title, work.files,
+      /*piece_length=*/256 * 1024,
+      /*salt=*/std::to_string(truths_.size()) + "|" + work.username);
+
+  PublishRequest request;
+  request.title = work.title;
+  request.category = work.category;
+  request.language = work.language;
+  request.username = work.username;
+  request.textbox = work.textbox;
+  request.torrent_bytes = metainfo.encode();
+  request.infohash = metainfo.infohash();
+  request.size_bytes = metainfo.total_size();
+  request.payload = work.payload;
+  const TorrentId id = portal_.publish(std::move(request), when);
+
+  // Moderation: fake content gets spotted and removed after a delay —
+  // unless it slips through entirely.
+  SimTime removal = -1;
+  if (work.payload != PayloadKind::Genuine &&
+      !rng_.chance(config_.moderation_miss_probability)) {
+    const auto delay = std::max<SimDuration>(
+        config_.moderation_min_delay,
+        static_cast<SimDuration>(
+            rng_.exponential(static_cast<double>(config_.moderation_mean_delay))));
+    removal = when + delay;
+    portal_.moderate_remove(id, removal);
+  }
+
+  // Swarm birth: cross-posted content already lives on another portal.
+  SimTime birth = when;
+  if (work.cross_posted) {
+    birth = when - static_cast<SimDuration>(
+                       rng_.uniform(static_cast<double>(config_.cross_post_lead_min),
+                                    static_cast<double>(config_.cross_post_lead_max)));
+  }
+
+  const SimTime hard_end = config_.window + days(2);
+  SwarmSpec spec;
+  spec.birth = birth;
+  spec.expected_downloads = work.expected_downloads;
+  spec.decay_tau = work.payload != PayloadKind::Genuine ? config_.fake_decay_tau
+                                                         : config_.decay_tau;
+  spec.arrivals_end = removal >= 0 ? std::min<SimTime>(removal, config_.window)
+                                   : config_.window;
+  spec.fake = work.payload != PayloadKind::Genuine;
+  spec.nat_fraction = config_.downloader_nat_fraction;
+  spec.median_download_time = config_.median_download_time;
+  spec.abort_probability = config_.abort_probability;
+  spec.seed_probability = config_.seed_probability;
+  spec.mean_seed_time = config_.mean_seed_time;
+
+  auto swarm = std::make_unique<Swarm>(metainfo.infohash(), metainfo.piece_count(),
+                                       birth);
+  swarm_generator_->generate(*swarm, spec, rng_);
+
+  // When does the k-th non-publisher seeder appear? (the publisher's
+  // leave condition)
+  constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+  SimTime enough_seeders_at = kNever;
+  const std::uint32_t k = publisher.seeding.leave_after_other_seeders;
+  if (k > 0 && !spec.fake) {
+    std::vector<SimTime> completions;
+    for (const PeerSession& s : swarm->sessions()) {
+      if (s.complete_at < s.depart) completions.push_back(s.complete_at);
+    }
+    if (completions.size() >= k) {
+      std::nth_element(completions.begin(), completions.begin() + (k - 1),
+                       completions.end());
+      enough_seeders_at = completions[k - 1];
+    }
+  }
+
+  const std::vector<Interval> seed_sessions =
+      plan_seed_sessions(publisher.seeding, birth, enough_seeders_at, removal,
+                         hard_end, publisher.online_start, rng_);
+  for (const Interval& session : seed_sessions) {
+    PeerSession s;
+    s.endpoint = work.endpoint;
+    s.arrive = session.start;
+    s.depart = session.end;
+    s.complete_at = session.start;  // the publisher always holds all pieces
+    s.nat = work.endpoint_nat;
+    s.is_publisher = true;
+    swarm->add_session(s);
+  }
+
+  swarm->finalize();
+  tracker_->host_swarm(*swarm);
+  network_.register_swarm(*swarm);
+
+  TorrentTruth truth;
+  truth.portal_id = id;
+  truth.publisher = publisher.id;
+  truth.publisher_class = publisher.cls;
+  truth.publisher_ip = work.endpoint.ip;
+  truth.publisher_nat = work.endpoint_nat;
+  truth.cross_posted = work.cross_posted;
+  truth.removal_time = removal;
+  truth.true_downloads = swarm->distinct_downloader_ips();
+  truth.seed_sessions = seed_sessions;
+  truths_.push_back(std::move(truth));
+  swarms_.push_back(std::move(swarm));
+  return id;
+}
+
+Dataset Ecosystem::crawl() {
+  if (!built_) throw std::logic_error("Ecosystem::crawl before build");
+  // Fixed forks keyed off the scenario seed keep repeated crawls of the
+  // same ecosystem identical; the tracker's client-side state (rate limits,
+  // sampling stream) is reset so a crawl never observes a previous one.
+  tracker_->reset_state(Rng(config_.seed ^ 0x7214CBull));
+  Rng crawler_rng(config_.seed ^ 0xC4A37E5ull);
+  Crawler crawler(portal_, *tracker_, network_, geo(), config_.crawler,
+                  crawler_rng);
+  return crawler.crawl_window(0, config_.window);
+}
+
+}  // namespace btpub

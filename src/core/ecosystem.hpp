@@ -1,0 +1,88 @@
+// ecosystem.hpp — assembles and runs one complete simulated BitTorrent
+// ecosystem: synthetic Internet (GeoIP + ISPs), portal, tracker, publisher
+// population with websites, per-torrent swarms, moderation — then runs the
+// measurement crawler over it.
+//
+// The ecosystem keeps generator-side ground truth (who published what,
+// true seeding sessions, true download counts) strictly separate from the
+// crawler's Dataset; validation benches compare the two.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "crawler/dataset.hpp"
+#include "geo/isp_catalog.hpp"
+#include "portal/portal.hpp"
+#include "publisher/population.hpp"
+#include "swarm/generator.hpp"
+#include "swarm/network.hpp"
+#include "tracker/tracker.hpp"
+#include "websim/appraisal.hpp"
+
+namespace btpub {
+
+/// Generator-side truth for one published torrent.
+struct TorrentTruth {
+  TorrentId portal_id = kInvalidTorrent;
+  PublisherId publisher = 0;
+  PublisherClass publisher_class = PublisherClass::Regular;
+  IpAddress publisher_ip{};  // the address used for this publication
+  bool publisher_nat = false;
+  bool cross_posted = false;
+  SimTime removal_time = -1;  // -1: never moderated away
+  std::size_t true_downloads = 0;
+  std::vector<Interval> seed_sessions;
+};
+
+class Ecosystem {
+ public:
+  explicit Ecosystem(ScenarioConfig config);
+
+  /// Generates the world: population, listings, swarms, moderation.
+  /// Must be called exactly once, before crawl().
+  void build();
+
+  /// Runs the measurement crawler over the window; deterministic.
+  Dataset crawl();
+
+  // --- components (valid after build()) ---
+  const ScenarioConfig& config() const noexcept { return config_; }
+  const IspCatalog& catalog() const noexcept { return catalog_; }
+  const GeoDb& geo() const noexcept { return catalog_.db(); }
+  const Portal& portal() const noexcept { return portal_; }
+  Portal& portal() noexcept { return portal_; }
+  Tracker& tracker() noexcept { return *tracker_; }
+  SwarmNetwork& network() noexcept { return network_; }
+  const Population& population() const noexcept { return population_; }
+  const WebsiteDirectory& websites() const noexcept { return population_.websites; }
+  const AppraisalPanel& appraisal_panel() const noexcept { return panel_; }
+
+  // --- ground truth ---
+  const std::vector<TorrentTruth>& truths() const noexcept { return truths_; }
+  const TorrentTruth& truth(TorrentId id) const { return truths_.at(id); }
+  const Swarm& swarm_of(TorrentId id) const { return *swarms_.at(id); }
+  std::size_t torrent_count() const noexcept { return truths_.size(); }
+
+ private:
+  void backfill_history();
+  void generate_publications();
+  TorrentId publish_one(Publisher& publisher, SimTime when);
+
+  ScenarioConfig config_;
+  Rng rng_;
+  IspCatalog catalog_;
+  Portal portal_;
+  std::unique_ptr<Tracker> tracker_;
+  SwarmNetwork network_;
+  Population population_;
+  std::unique_ptr<ConsumerPool> consumers_;
+  std::unique_ptr<SwarmGenerator> swarm_generator_;
+  AppraisalPanel panel_;
+  std::vector<std::unique_ptr<Swarm>> swarms_;  // indexed by TorrentId
+  std::vector<TorrentTruth> truths_;            // indexed by TorrentId
+  bool built_ = false;
+};
+
+}  // namespace btpub

@@ -1,0 +1,71 @@
+// scenario.hpp — everything that configures one simulated ecosystem plus
+// the preset scenarios used by the benches.
+//
+// Presets:
+//   * pb10()      — the paper's main dataset: month-long Pirate-Bay-style
+//                   crawl with usernames, IPs and periodic monitoring, at
+//                   roughly 1:7 of the real portal's publishing volume.
+//   * pb09()      — same portal, single tracker query per torrent.
+//   * mn08()      — Mininova-style: no usernames, periodic monitoring.
+//   * signature() — full-scale publishing *rates* with a reduced publisher
+//                   head-count and a shorter window; used for the Figure-4
+//                   seeding-signature study, where per-publisher temporal
+//                   density (parallel torrents, aggregated sessions) must
+//                   match the paper rather than the portal's total volume.
+//   * quick()     — small and fast; unit/integration tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crawler/crawler.hpp"
+#include "publisher/population.hpp"
+#include "tracker/tracker.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  std::string name = "pb10";
+  SimDuration window = days(30);
+
+  PopulationConfig population;
+  TrackerConfig tracker;
+  CrawlerConfig crawler;
+
+  // Swarm demand model.
+  double downloader_nat_fraction = 0.35;
+  SimDuration decay_tau = days(1.5);
+  /// Fake swarms: catchy titles attract their victims fast, and the portal
+  /// removes the listing within a day or two, so the arrival process both
+  /// decays quicker and is truncated earlier.
+  SimDuration fake_decay_tau = hours(14);
+  SimDuration median_download_time = hours(2.5);
+  double abort_probability = 0.15;
+  double seed_probability = 0.45;
+  SimDuration mean_seed_time = hours(3);
+  /// Fraction of downloader draws taken from the sticky consumer pool.
+  double sticky_consumer_bias = 0.02;
+
+  // Moderation of fake content.
+  SimDuration moderation_mean_delay = hours(30);
+  SimDuration moderation_min_delay = hours(2);
+  /// Fraction of fake listings moderation never catches (the paper notes
+  /// the portals' countermeasure "does not seem to be enough effective").
+  double moderation_miss_probability = 0.0;
+
+  /// How many "other seeders" top publishers wait for is a per-class
+  /// seeding-policy knob; this global floor keeps every genuine swarm
+  /// seeded long enough to bootstrap.
+  SimDuration cross_post_lead_min = hours(12);
+  SimDuration cross_post_lead_max = hours(72);
+
+  static ScenarioConfig pb10(std::uint64_t seed = 42);
+  static ScenarioConfig pb09(std::uint64_t seed = 42);
+  static ScenarioConfig mn08(std::uint64_t seed = 42);
+  static ScenarioConfig signature(std::uint64_t seed = 42);
+  static ScenarioConfig quick(std::uint64_t seed = 42);
+};
+
+}  // namespace btpub

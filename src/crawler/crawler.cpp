@@ -1,0 +1,220 @@
+#include "crawler/crawler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "torrent/metainfo.hpp"
+#include "torrent/wire.hpp"
+
+namespace btpub {
+
+Crawler::Crawler(const Portal& portal, Tracker& tracker, SwarmNetwork& network,
+                 const GeoDb& geo, CrawlerConfig config, Rng rng)
+    : portal_(&portal),
+      tracker_(&tracker),
+      network_(&network),
+      geo_(&geo),
+      config_(std::move(config)),
+      rng_(rng) {}
+
+Endpoint Crawler::vantage(std::size_t index) const {
+  // Measurement machines live in 10.77.0.0/16, outside the simulated
+  // Internet's GeoIP space, so they never collide with peers.
+  return Endpoint{IpAddress(10, 77, static_cast<std::uint8_t>(index >> 8),
+                            static_cast<std::uint8_t>(index & 0xff)),
+                  6881};
+}
+
+void Crawler::record_reply(const AnnounceReply& reply, TorrentRecord& record,
+                           std::vector<IpAddress>& ips,
+                           std::vector<SimTime>& sightings, SimTime now) {
+  record.max_concurrent =
+      std::max(record.max_concurrent, reply.complete + reply.incomplete);
+  for (const Endpoint& peer : reply.peers) {
+    if (record.publisher_ip && peer.ip == *record.publisher_ip) {
+      sightings.push_back(now);
+      continue;
+    }
+    if (seen_ips_.insert(peer.ip).second) ips.push_back(peer.ip);
+  }
+}
+
+void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
+                            std::vector<SimTime>& sightings, SimTime now) {
+  AnnounceRequest request;
+  request.infohash = record.infohash;
+  request.client = vantage(0);
+  request.numwant = config_.numwant;
+  request.now = now;
+  const std::string body = tracker_->handle_get(to_query_string(request));
+  const AnnounceReply reply = decode_announce_reply(body);
+  record.first_seen = now;
+  ++record.query_count;
+  if (!reply.ok) return;
+  record.initial_seeders = reply.complete;
+  record.initial_peers = reply.complete + reply.incomplete;
+
+  // Initial-seeder identification: only feasible in a young swarm with a
+  // single seeder and few participants (§2). Probe every returned peer and
+  // look for the complete bitfield.
+  if (reply.complete == 1 && record.initial_peers < config_.max_probe_peers) {
+    for (const Endpoint& peer : reply.peers) {
+      const auto probe = network_->probe(record.infohash, peer, now);
+      if (!probe) continue;  // NAT or gone
+      const auto handshake = Handshake::decode(probe->handshake);
+      if (!handshake || handshake->infohash != record.infohash) continue;
+      std::size_t pos = 0;
+      const auto message = decode_message(probe->bitfield, pos);
+      if (!message || message->type != WireMessageType::Bitfield) continue;
+      Bitfield field;
+      try {
+        field = Bitfield::from_bytes(message->payload, record.piece_count);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      if (field.complete()) {
+        record.publisher_ip = peer.ip;
+        break;
+      }
+    }
+  }
+  record_reply(reply, record, ips, sightings, now);
+}
+
+void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
+                      std::vector<SimTime>& sightings, SimTime hard_stop) {
+  // Each vantage machine queries at the fastest allowed cadence; their
+  // schedules are staggered so aggregated resolution is gap/vantage_points.
+  const SimDuration gap = tracker_->enforced_gap() + kSecond;
+  const std::size_t n_vantage = std::max<std::size_t>(config_.vantage_points, 1);
+  const SimDuration stagger = gap / static_cast<SimDuration>(n_vantage);
+
+  std::uint32_t consecutive_empty = 0;
+  SimTime next_page_check = record.first_seen + config_.page_recheck;
+  std::uint64_t tick = 1;
+  while (true) {
+    const std::size_t machine = tick % n_vantage;
+    const SimTime now = record.first_seen +
+                        static_cast<SimTime>(tick / n_vantage) * gap +
+                        static_cast<SimTime>(machine) * stagger;
+    ++tick;
+    if (now > hard_stop) break;
+
+    AnnounceRequest request;
+    request.infohash = record.infohash;
+    request.client = vantage(machine);
+    request.numwant = config_.numwant;
+    request.now = now;
+    const AnnounceReply reply = decode_announce_reply(
+        tracker_->handle_get(to_query_string(request)));
+    ++record.query_count;
+    if (reply.ok) {
+      record_reply(reply, record, ips, sightings, now);
+      if (reply.peers.empty()) {
+        if (++consecutive_empty >= config_.empty_replies_to_stop) break;
+      } else {
+        consecutive_empty = 0;
+      }
+    }
+
+    if (now >= next_page_check && !record.observed_removed) {
+      const auto page = portal_->page(record.portal_id, now);
+      if (page && page->removed) {
+        record.observed_removed = true;
+        record.observed_removed_at = now;
+      }
+      next_page_check = now + config_.page_recheck;
+    }
+  }
+}
+
+std::optional<TorrentRecord> Crawler::discover(TorrentId id, SimTime now,
+                                               std::vector<IpAddress>& downloaders,
+                                               std::vector<SimTime>& sightings) {
+  const auto page = portal_->page(id, now);
+  if (!page || page->removed) return std::nullopt;
+  const auto torrent_bytes = portal_->fetch_torrent(id, now);
+  if (!torrent_bytes) return std::nullopt;
+
+  TorrentRecord record;
+  record.portal_id = id;
+  record.title = page->title;
+  record.category = page->category;
+  record.language = page->language;
+  record.size_bytes = page->size_bytes;
+  record.published_at = page->published_at;
+  record.textbox = page->textbox;
+  if (config_.style != DatasetStyle::Mn08) record.username = page->username;
+
+  Metainfo metainfo;
+  try {
+    metainfo = Metainfo::parse(*torrent_bytes);
+  } catch (const std::exception&) {
+    return std::nullopt;  // malformed .torrent: skip, as a real crawler would
+  }
+  record.infohash = metainfo.infohash();
+  record.piece_count = metainfo.piece_count();
+  for (const FileEntry& f : metainfo.files()) {
+    record.payload_filenames.push_back(f.path);
+  }
+
+  seen_ips_.clear();
+  first_contact(record, downloaders, sightings, now);
+  return record;
+}
+
+Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
+  Dataset dataset;
+  dataset.style = config_.style;
+  dataset.name = std::string(to_string(config_.style));
+  dataset.window_start = window_start;
+  dataset.window_end = window_end;
+
+  // Walk the portal's dense id space; ids are publication-ordered, so this
+  // is equivalent to having tailed the RSS feed throughout the window.
+  const TorrentId newest = portal_->newest_id();
+  if (newest == kInvalidTorrent) return dataset;
+  for (TorrentId id = 0; id <= newest; ++id) {
+    // Peek only at the publication timestamp — equivalent to having read
+    // the RSS item when it appeared; all content access goes through
+    // discover() at the discovery time.
+    const auto page = portal_->page(id, window_end + config_.grace);
+    if (!page) continue;
+    if (page->published_at < window_start || page->published_at >= window_end) {
+      continue;
+    }
+    // Discovery happens at the next RSS poll tick plus a small handling
+    // delay for the .torrent download.
+    const SimTime poll_tick =
+        ((page->published_at / config_.rss_poll) + 1) * config_.rss_poll;
+    const SimTime discovery = poll_tick + static_cast<SimDuration>(
+                                              rng_.uniform_int(5, 60));
+
+    std::vector<IpAddress> ips;
+    std::vector<SimTime> sightings;
+    auto record = discover(id, discovery, ips, sightings);
+    if (!record) continue;  // removed before we could fetch it
+
+    if (config_.style != DatasetStyle::Pb09) {
+      monitor(*record, ips, sightings, window_end + config_.grace);
+    }
+    dataset.torrents.push_back(std::move(*record));
+    dataset.downloaders.push_back(std::move(ips));
+    dataset.publisher_sightings.push_back(std::move(sightings));
+  }
+
+  // Snapshot user pages at the end of the crawl (§5.2's longitudinal view).
+  if (config_.style != DatasetStyle::Mn08) {
+    for (const TorrentRecord& record : dataset.torrents) {
+      if (record.username.empty()) continue;
+      if (!dataset.user_pages.contains(record.username)) {
+        dataset.user_pages.emplace(record.username,
+                                   portal_->user_page(record.username,
+                                                      window_end + config_.grace));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace btpub

@@ -1,0 +1,91 @@
+// crawler.hpp — the paper's measurement methodology (§2), end to end:
+//
+//   1. poll the portal RSS feed to learn about a newborn torrent;
+//   2. download the .torrent, parse it, contact the tracker immediately;
+//   3. if the young swarm has a single seeder and few peers, probe every
+//      returned peer over the peer-wire protocol and identify the complete
+//      bitfield — that peer's IP is the initial publisher;
+//   4. keep querying the tracker (always soliciting the maximum number of
+//      peers, respecting the tracker's rate limit) from one or more vantage
+//      machines until ten consecutive empty replies;
+//   5. map addresses with the GeoIP database; snapshot content pages and,
+//      at the end of the crawl, user pages.
+//
+// The crawler sees only public interfaces: RSS items, page snapshots,
+// bencoded tracker replies and peer-wire bytes. It never touches simulator
+// ground truth.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "crawler/dataset.hpp"
+#include "geo/geo_db.hpp"
+#include "portal/portal.hpp"
+#include "swarm/network.hpp"
+#include "tracker/tracker.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+
+struct CrawlerConfig {
+  DatasetStyle style = DatasetStyle::Pb10;
+  /// RSS polling period (how fast a birth is detected).
+  SimDuration rss_poll = minutes(5);
+  /// Geographically-distributed query machines.
+  std::size_t vantage_points = 1;
+  /// Peers solicited per query (the tracker caps at its own maximum).
+  std::size_t numwant = 200;
+  /// Stop monitoring a swarm after this many consecutive empty replies.
+  std::uint32_t empty_replies_to_stop = 10;
+  /// Only attempt seeder identification when the swarm has fewer
+  /// participants than this (paper: 20) and exactly one seeder.
+  std::uint32_t max_probe_peers = 20;
+  /// How often the content page is re-checked for moderation removals.
+  SimDuration page_recheck = hours(12);
+  /// Monitoring continues at most this long past the window end.
+  SimDuration grace = days(3);
+};
+
+class Crawler {
+ public:
+  Crawler(const Portal& portal, Tracker& tracker, SwarmNetwork& network,
+          const GeoDb& geo, CrawlerConfig config, Rng rng);
+
+  /// Crawls every torrent published in [window_start, window_end); returns
+  /// the dataset. Deterministic given the rng seed.
+  Dataset crawl_window(SimTime window_start, SimTime window_end);
+
+  /// Discovery + first tracker contact for a single torrent (the pb09
+  /// behaviour, also used by the live monitor). `downloaders` and
+  /// `sightings` receive the first-contact observations.
+  std::optional<TorrentRecord> discover(TorrentId id, SimTime now,
+                                        std::vector<IpAddress>& downloaders,
+                                        std::vector<SimTime>& sightings);
+
+  const CrawlerConfig& config() const noexcept { return config_; }
+
+ private:
+  /// First tracker contact + (conditional) initial-seeder identification.
+  void first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
+                     std::vector<SimTime>& sightings, SimTime now);
+  /// Periodic monitoring until the empty-reply stop rule fires.
+  void monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
+               std::vector<SimTime>& sightings, SimTime hard_stop);
+  Endpoint vantage(std::size_t index) const;
+  /// Dedup-inserts the peers of a reply; records publisher sightings.
+  void record_reply(const AnnounceReply& reply, TorrentRecord& record,
+                    std::vector<IpAddress>& ips, std::vector<SimTime>& sightings,
+                    SimTime now);
+
+  const Portal* portal_;
+  Tracker* tracker_;
+  SwarmNetwork* network_;
+  const GeoDb* geo_;
+  CrawlerConfig config_;
+  Rng rng_;
+  // Scratch dedup set per torrent, reused across torrents.
+  std::unordered_set<IpAddress> seen_ips_;
+};
+
+}  // namespace btpub

@@ -1,0 +1,213 @@
+#include "crawler/dataset_io.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+
+namespace btpub {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'T', 'P', 'U', 'B', 'D', 'S', '3'};
+
+void write_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out) throw std::runtime_error("dataset_io: write failed");
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_bytes(out, &value, sizeof value);
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  write_bytes(out, s.data(), s.size());
+}
+
+void read_bytes(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) {
+    throw std::runtime_error("dataset_io: truncated input");
+  }
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  read_bytes(in, &value, sizeof value);
+  return value;
+}
+
+std::string read_string(std::istream& in) {
+  const auto size = read_pod<std::uint32_t>(in);
+  if (size > (1u << 28)) throw std::runtime_error("dataset_io: bogus string size");
+  std::string s(size, '\0');
+  if (size > 0) read_bytes(in, s.data(), size);
+  return s;
+}
+
+void write_record(std::ostream& out, const TorrentRecord& r) {
+  write_pod(out, r.portal_id);
+  write_bytes(out, r.infohash.bytes.data(), r.infohash.bytes.size());
+  write_string(out, r.title);
+  write_pod(out, static_cast<std::uint8_t>(r.category));
+  write_pod(out, static_cast<std::uint8_t>(r.language));
+  write_pod(out, r.size_bytes);
+  write_string(out, r.username);
+  write_pod(out, static_cast<std::uint8_t>(r.publisher_ip.has_value()));
+  write_pod(out, r.publisher_ip ? r.publisher_ip->value() : 0u);
+  write_pod(out, r.published_at);
+  write_pod(out, r.first_seen);
+  write_string(out, r.textbox);
+  write_pod(out, static_cast<std::uint32_t>(r.payload_filenames.size()));
+  for (const std::string& name : r.payload_filenames) write_string(out, name);
+  write_pod(out, static_cast<std::uint64_t>(r.piece_count));
+  write_pod(out, static_cast<std::uint8_t>(r.observed_removed));
+  write_pod(out, r.observed_removed_at);
+  write_pod(out, r.initial_seeders);
+  write_pod(out, r.initial_peers);
+  write_pod(out, r.query_count);
+  write_pod(out, r.max_concurrent);
+}
+
+TorrentRecord read_record(std::istream& in) {
+  TorrentRecord r;
+  r.portal_id = read_pod<TorrentId>(in);
+  read_bytes(in, r.infohash.bytes.data(), r.infohash.bytes.size());
+  r.title = read_string(in);
+  r.category = static_cast<ContentCategory>(read_pod<std::uint8_t>(in));
+  r.language = static_cast<Language>(read_pod<std::uint8_t>(in));
+  r.size_bytes = read_pod<std::int64_t>(in);
+  r.username = read_string(in);
+  const bool has_ip = read_pod<std::uint8_t>(in) != 0;
+  const auto raw_ip = read_pod<std::uint32_t>(in);
+  if (has_ip) r.publisher_ip = IpAddress(raw_ip);
+  r.published_at = read_pod<SimTime>(in);
+  r.first_seen = read_pod<SimTime>(in);
+  r.textbox = read_string(in);
+  const auto n_files = read_pod<std::uint32_t>(in);
+  r.payload_filenames.reserve(n_files);
+  for (std::uint32_t i = 0; i < n_files; ++i) {
+    r.payload_filenames.push_back(read_string(in));
+  }
+  r.piece_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  r.observed_removed = read_pod<std::uint8_t>(in) != 0;
+  r.observed_removed_at = read_pod<SimTime>(in);
+  r.initial_seeders = read_pod<std::uint32_t>(in);
+  r.initial_peers = read_pod<std::uint32_t>(in);
+  r.query_count = read_pod<std::uint32_t>(in);
+  r.max_concurrent = read_pod<std::uint32_t>(in);
+  return r;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, std::ostream& out) {
+  write_bytes(out, kMagic, sizeof kMagic);
+  write_string(out, dataset.name);
+  write_pod(out, static_cast<std::uint8_t>(dataset.style));
+  write_pod(out, dataset.window_start);
+  write_pod(out, dataset.window_end);
+  write_pod(out, static_cast<std::uint64_t>(dataset.torrents.size()));
+  for (std::size_t i = 0; i < dataset.torrents.size(); ++i) {
+    write_record(out, dataset.torrents[i]);
+    const auto& ips = dataset.downloaders[i];
+    write_pod(out, static_cast<std::uint32_t>(ips.size()));
+    for (const IpAddress& ip : ips) write_pod(out, ip.value());
+    const auto& sightings = dataset.publisher_sightings[i];
+    write_pod(out, static_cast<std::uint32_t>(sightings.size()));
+    for (const SimTime t : sightings) write_pod(out, t);
+  }
+  write_pod(out, static_cast<std::uint64_t>(dataset.user_pages.size()));
+  for (const auto& [name, page] : dataset.user_pages) {
+    write_string(out, name);
+    write_pod(out, static_cast<std::uint8_t>(page.banned));
+    write_pod(out, static_cast<std::uint32_t>(page.publish_times.size()));
+    for (const SimTime t : page.publish_times) write_pod(out, t);
+  }
+}
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("dataset_io: cannot open " + path);
+  save_dataset(dataset, out);
+}
+
+Dataset load_dataset(std::istream& in) {
+  char magic[8];
+  read_bytes(in, magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("dataset_io: bad magic / version");
+  }
+  Dataset dataset;
+  dataset.name = read_string(in);
+  dataset.style = static_cast<DatasetStyle>(read_pod<std::uint8_t>(in));
+  dataset.window_start = read_pod<SimTime>(in);
+  dataset.window_end = read_pod<SimTime>(in);
+  const auto n = read_pod<std::uint64_t>(in);
+  dataset.torrents.reserve(n);
+  dataset.downloaders.reserve(n);
+  dataset.publisher_sightings.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    dataset.torrents.push_back(read_record(in));
+    const auto n_ips = read_pod<std::uint32_t>(in);
+    std::vector<IpAddress> ips;
+    ips.reserve(n_ips);
+    for (std::uint32_t k = 0; k < n_ips; ++k) {
+      ips.emplace_back(read_pod<std::uint32_t>(in));
+    }
+    dataset.downloaders.push_back(std::move(ips));
+    const auto n_sightings = read_pod<std::uint32_t>(in);
+    std::vector<SimTime> sightings;
+    sightings.reserve(n_sightings);
+    for (std::uint32_t k = 0; k < n_sightings; ++k) {
+      sightings.push_back(read_pod<SimTime>(in));
+    }
+    dataset.publisher_sightings.push_back(std::move(sightings));
+  }
+  const auto n_pages = read_pod<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < n_pages; ++i) {
+    UserPage page;
+    page.username = read_string(in);
+    page.banned = read_pod<std::uint8_t>(in) != 0;
+    const auto n_times = read_pod<std::uint32_t>(in);
+    page.publish_times.reserve(n_times);
+    for (std::uint32_t k = 0; k < n_times; ++k) {
+      page.publish_times.push_back(read_pod<SimTime>(in));
+    }
+    dataset.user_pages.emplace(page.username, std::move(page));
+  }
+  return dataset;
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dataset_io: cannot open " + path);
+  return load_dataset(in);
+}
+
+Dataset load_or_generate(const std::string& path,
+                         const std::function<Dataset()>& generate) {
+  if (std::filesystem::exists(path)) {
+    try {
+      return load_dataset(path);
+    } catch (const std::exception&) {
+      // Stale or corrupt cache: fall through and regenerate.
+    }
+  }
+  Dataset dataset = generate();
+  try {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    save_dataset(dataset, path);
+  } catch (const std::exception&) {
+    // Caching is best effort; the dataset itself is still returned.
+  }
+  return dataset;
+}
+
+}  // namespace btpub

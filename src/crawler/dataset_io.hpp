@@ -1,0 +1,34 @@
+// dataset_io.hpp — binary persistence for crawl datasets.
+//
+// A month-long crawl takes a while to simulate; persisting the resulting
+// Dataset lets the analysis benches (and downstream users) reload it
+// instantly. The format is a small versioned little-endian binary layout —
+// not meant for interchange, only for caching on the same machine.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "crawler/dataset.hpp"
+
+namespace btpub {
+
+/// Serialises a dataset to a stream. Throws std::runtime_error on I/O
+/// failure.
+void save_dataset(const Dataset& dataset, std::ostream& out);
+void save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset back. Throws std::runtime_error on corrupt or
+/// version-mismatched input.
+Dataset load_dataset(std::istream& in);
+Dataset load_dataset(const std::string& path);
+
+/// Convenience used by the bench harnesses: load `path` if it exists and
+/// parses, otherwise run `generate`, save the result to `path` (best
+/// effort) and return it.
+Dataset load_or_generate(const std::string& path,
+                         const std::function<Dataset()>& generate);
+
+}  // namespace btpub

@@ -1,0 +1,156 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace btpub {
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Sha1Digest Sha1Digest::from_hex(std::string_view hex) {
+  Sha1Digest d;
+  if (hex.size() != 40) return d;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return Sha1Digest{};
+    d.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return d;
+}
+
+Sha1::Sha1() noexcept {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit big-endian length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(std::span<const std::uint8_t>(pad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  // Bypass update()'s total_bytes_ accounting for the length field itself.
+  std::memcpy(buffer_.data() + buffered_, len_bytes, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  Sha1Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d.bytes[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    d.bytes[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    d.bytes[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    d.bytes[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::hash(std::string_view data) noexcept {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) noexcept {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+}  // namespace btpub

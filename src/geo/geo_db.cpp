@@ -1,0 +1,78 @@
+#include "geo/geo_db.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace btpub {
+
+std::string_view to_string(IspType type) {
+  switch (type) {
+    case IspType::HostingProvider:
+      return "Hosting Provider";
+    case IspType::CommercialIsp:
+      return "Commercial ISP";
+  }
+  return "?";
+}
+
+IspId GeoDb::add_isp(std::string name, IspType type, std::string country) {
+  if (isp_by_name_.contains(name)) {
+    throw std::invalid_argument("GeoDb: duplicate ISP name '" + name + "'");
+  }
+  const IspId id = static_cast<IspId>(isps_.size());
+  isp_by_name_.emplace(name, id);
+  isps_.push_back(IspInfo{id, std::move(name), type, std::move(country)});
+  return id;
+}
+
+std::uint32_t GeoDb::intern_city(std::string city) {
+  const auto it = city_index_.find(city);
+  if (it != city_index_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(cities_.size());
+  city_index_.emplace(city, index);
+  cities_.push_back(std::move(city));
+  return index;
+}
+
+void GeoDb::add_block(CidrBlock block, IspId isp, std::string city) {
+  if (isp >= isps_.size()) throw std::invalid_argument("GeoDb: unknown ISP id");
+  BlockRecord rec;
+  rec.isp = isp;
+  rec.city_index = intern_city(std::move(city));
+  by_length_[static_cast<std::size_t>(block.length())]
+      .insert_or_assign(block.base().value(), rec);
+  ++n_blocks_;
+}
+
+std::optional<GeoLocation> GeoDb::lookup(IpAddress ip) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& table = by_length_[static_cast<std::size_t>(len)];
+    if (table.empty()) continue;
+    const std::uint32_t mask = len == 0 ? 0u : (~std::uint32_t{0}) << (32 - len);
+    const auto it = table.find(ip.value() & mask);
+    if (it == table.end()) continue;
+    const BlockRecord& rec = it->second;
+    const IspInfo& info = isps_[rec.isp];
+    GeoLocation loc;
+    loc.isp = rec.isp;
+    loc.isp_name = info.name;
+    loc.isp_type = info.type;
+    loc.country = info.country;
+    loc.city = cities_[rec.city_index];
+    return loc;
+  }
+  return std::nullopt;
+}
+
+const IspInfo& GeoDb::isp(IspId id) const {
+  assert(id < isps_.size());
+  return isps_[id];
+}
+
+std::optional<IspId> GeoDb::find_isp(std::string_view name) const {
+  const auto it = isp_by_name_.find(std::string(name));
+  if (it == isp_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace btpub

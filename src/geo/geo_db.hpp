@@ -1,0 +1,89 @@
+// geo_db.hpp — the MaxMind-GeoIP substitute.
+//
+// The paper maps every publisher and downloader IP to an ISP and a
+// geographical location with the commercial MaxMind database. We build a
+// synthetic database with the same query interface (longest-prefix match
+// from IP to {ISP, ISP type, country, city}) over address space we allocate
+// ourselves, which preserves the contrasts the paper measures: hosting
+// providers own a handful of /16s in one or two cities, residential ISPs
+// own hundreds of prefixes across hundreds of cities.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace btpub {
+
+/// Whether an autonomous system sells servers or eyeball connectivity —
+/// the axis the paper's Tables 2 and 3 pivot on.
+enum class IspType : std::uint8_t {
+  HostingProvider,
+  CommercialIsp,
+};
+
+std::string_view to_string(IspType type);
+
+using IspId = std::uint32_t;
+inline constexpr IspId kUnknownIsp = ~IspId{0};
+
+/// Static facts about one ISP.
+struct IspInfo {
+  IspId id = kUnknownIsp;
+  std::string name;
+  IspType type = IspType::CommercialIsp;
+  std::string country;
+};
+
+/// Result of a GeoIP lookup.
+struct GeoLocation {
+  IspId isp = kUnknownIsp;
+  std::string_view isp_name;
+  IspType isp_type = IspType::CommercialIsp;
+  std::string_view country;
+  std::string_view city;
+};
+
+/// Longest-prefix-match IP → location database.
+class GeoDb {
+ public:
+  /// Registers an ISP; names must be unique. Returns its id.
+  IspId add_isp(std::string name, IspType type, std::string country);
+
+  /// Maps a CIDR block to (isp, city). Blocks may nest; the longest prefix
+  /// wins at lookup time. The ISP id must exist.
+  void add_block(CidrBlock block, IspId isp, std::string city);
+
+  /// Longest-prefix lookup; nullopt when no block covers the address.
+  std::optional<GeoLocation> lookup(IpAddress ip) const;
+
+  const IspInfo& isp(IspId id) const;
+  /// nullopt when no ISP has that name.
+  std::optional<IspId> find_isp(std::string_view name) const;
+  std::size_t isp_count() const noexcept { return isps_.size(); }
+  std::size_t block_count() const noexcept { return n_blocks_; }
+
+ private:
+  struct BlockRecord {
+    IspId isp = kUnknownIsp;
+    std::uint32_t city_index = 0;
+  };
+
+  std::vector<IspInfo> isps_;
+  std::unordered_map<std::string, IspId> isp_by_name_;
+  std::vector<std::string> cities_;
+  std::unordered_map<std::string, std::uint32_t> city_index_;
+  // One exact-match table per prefix length; lookup probes /32 .. /0.
+  std::array<std::unordered_map<std::uint32_t, BlockRecord>, 33> by_length_{};
+  std::size_t n_blocks_ = 0;
+
+  std::uint32_t intern_city(std::string city);
+};
+
+}  // namespace btpub

@@ -1,0 +1,86 @@
+#include "portal/category.hpp"
+
+namespace btpub {
+
+std::string_view to_string(ContentCategory c) {
+  switch (c) {
+    case ContentCategory::Movies:
+      return "Movies";
+    case ContentCategory::TvShows:
+      return "TV-Shows";
+    case ContentCategory::Porn:
+      return "Porn";
+    case ContentCategory::Music:
+      return "Music";
+    case ContentCategory::Audiobooks:
+      return "Audiobooks";
+    case ContentCategory::Games:
+      return "Games";
+    case ContentCategory::Software:
+      return "Software";
+    case ContentCategory::Ebooks:
+      return "E-books";
+    case ContentCategory::Other:
+      return "Other";
+  }
+  return "?";
+}
+
+std::string_view to_string(CoarseCategory c) {
+  switch (c) {
+    case CoarseCategory::Video:
+      return "Video";
+    case CoarseCategory::Audio:
+      return "Audio";
+    case CoarseCategory::Games:
+      return "Games";
+    case CoarseCategory::Software:
+      return "Software";
+    case CoarseCategory::Books:
+      return "Books";
+    case CoarseCategory::Other:
+      return "Other";
+  }
+  return "?";
+}
+
+CoarseCategory coarse(ContentCategory c) {
+  switch (c) {
+    case ContentCategory::Movies:
+    case ContentCategory::TvShows:
+    case ContentCategory::Porn:
+      return CoarseCategory::Video;
+    case ContentCategory::Music:
+    case ContentCategory::Audiobooks:
+      return CoarseCategory::Audio;
+    case ContentCategory::Games:
+      return CoarseCategory::Games;
+    case ContentCategory::Software:
+      return CoarseCategory::Software;
+    case ContentCategory::Ebooks:
+      return CoarseCategory::Books;
+    case ContentCategory::Other:
+      return CoarseCategory::Other;
+  }
+  return CoarseCategory::Other;
+}
+
+std::string_view to_string(Language l) {
+  switch (l) {
+    case Language::English:
+      return "English";
+    case Language::Spanish:
+      return "Spanish";
+    case Language::Italian:
+      return "Italian";
+    case Language::Dutch:
+      return "Dutch";
+    case Language::Swedish:
+      return "Swedish";
+    case Language::Other:
+      return "Other";
+  }
+  return "?";
+}
+
+}  // namespace btpub

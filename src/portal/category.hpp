@@ -1,0 +1,65 @@
+// category.hpp — content taxonomy as used by The Pirate Bay / Mininova
+// circa 2010 and by the paper's Figure 2 (which groups subcategories into
+// Video / Audio / Games / Software / Books / Other).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace btpub {
+
+/// Portal subcategory of a published content.
+enum class ContentCategory : std::uint8_t {
+  Movies,
+  TvShows,
+  Porn,
+  Music,
+  Audiobooks,
+  Games,
+  Software,
+  Ebooks,
+  Other,
+};
+
+inline constexpr std::array<ContentCategory, 9> kAllCategories = {
+    ContentCategory::Movies,  ContentCategory::TvShows, ContentCategory::Porn,
+    ContentCategory::Music,   ContentCategory::Audiobooks,
+    ContentCategory::Games,   ContentCategory::Software,
+    ContentCategory::Ebooks,  ContentCategory::Other,
+};
+
+/// Figure-2 coarse grouping.
+enum class CoarseCategory : std::uint8_t {
+  Video,     // Movies + TvShows + Porn
+  Audio,     // Music + Audiobooks
+  Games,
+  Software,
+  Books,
+  Other,
+};
+
+inline constexpr std::array<CoarseCategory, 6> kAllCoarseCategories = {
+    CoarseCategory::Video, CoarseCategory::Audio,    CoarseCategory::Games,
+    CoarseCategory::Software, CoarseCategory::Books, CoarseCategory::Other,
+};
+
+std::string_view to_string(ContentCategory c);
+std::string_view to_string(CoarseCategory c);
+
+CoarseCategory coarse(ContentCategory c);
+
+/// Content language; the paper finds 40% of portal-class publishers focus
+/// on a specific non-English language, 66% of those on Spanish.
+enum class Language : std::uint8_t {
+  English,
+  Spanish,
+  Italian,
+  Dutch,
+  Swedish,
+  Other,
+};
+
+std::string_view to_string(Language l);
+
+}  // namespace btpub

@@ -1,0 +1,144 @@
+#include "portal/portal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace btpub {
+
+TorrentId Portal::publish(PublishRequest request, SimTime now) {
+  if (request.username.empty()) {
+    throw std::invalid_argument("Portal::publish: empty username");
+  }
+  if (now < last_publish_time_) {
+    throw std::invalid_argument("Portal::publish: time went backwards");
+  }
+  last_publish_time_ = now;
+  const TorrentId id = static_cast<TorrentId>(listings_.size());
+  Listing l;
+  l.page.id = id;
+  l.page.title = std::move(request.title);
+  l.page.category = request.category;
+  l.page.language = request.language;
+  l.page.username = request.username;
+  l.page.textbox = std::move(request.textbox);
+  l.page.size_bytes = request.size_bytes;
+  l.page.published_at = now;
+  l.torrent_bytes = std::move(request.torrent_bytes);
+  l.infohash = request.infohash;
+  l.payload = request.payload;
+  listings_.push_back(std::move(l));
+  users_[request.username].publish_times.push_back(now);
+  return id;
+}
+
+void Portal::record_historical_publish(std::string_view username, SimTime when) {
+  auto& state = users_[std::string(username)];
+  auto& v = state.publish_times;
+  v.insert(std::upper_bound(v.begin(), v.end(), when), when);
+}
+
+std::vector<RssItem> Portal::rss_since(TorrentId last_seen, SimTime now,
+                                       std::size_t limit) const {
+  std::vector<RssItem> items;
+  const std::size_t start =
+      last_seen == kInvalidTorrent ? 0 : static_cast<std::size_t>(last_seen) + 1;
+  for (std::size_t i = start; i < listings_.size() && items.size() < limit; ++i) {
+    const Listing& l = listings_[i];
+    if (l.page.published_at > now) break;  // not yet published
+    if (removed_by(l, now)) continue;
+    RssItem item;
+    item.id = static_cast<TorrentId>(i);
+    item.title = l.page.title;
+    item.category = l.page.category;
+    item.username = l.page.username;
+    item.size_bytes = l.page.size_bytes;
+    item.published_at = l.page.published_at;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TorrentId Portal::newest_id() const noexcept {
+  return listings_.empty() ? kInvalidTorrent
+                           : static_cast<TorrentId>(listings_.size() - 1);
+}
+
+std::optional<ContentPage> Portal::page(TorrentId id, SimTime now) const {
+  if (id >= listings_.size()) return std::nullopt;
+  const Listing& l = listings_[id];
+  if (l.page.published_at > now) return std::nullopt;
+  ContentPage page = l.page;
+  if (removed_by(l, now)) {
+    page.removed = true;
+    page.textbox.clear();  // tombstone
+  }
+  return page;
+}
+
+std::optional<std::string> Portal::fetch_torrent(TorrentId id, SimTime now) const {
+  if (id >= listings_.size()) return std::nullopt;
+  const Listing& l = listings_[id];
+  if (l.page.published_at > now || removed_by(l, now)) return std::nullopt;
+  return l.torrent_bytes;
+}
+
+std::optional<PayloadKind> Portal::download_payload(TorrentId id,
+                                                    SimTime now) const {
+  if (id >= listings_.size()) return std::nullopt;
+  const Listing& l = listings_[id];
+  if (l.page.published_at > now || removed_by(l, now)) return std::nullopt;
+  return l.payload;
+}
+
+void Portal::moderate_remove(TorrentId id, SimTime at) {
+  if (id >= listings_.size()) return;
+  Listing& l = listings_[id];
+  if (l.removed_at >= 0 && l.removed_at <= at) return;
+  l.removed_at = at;
+  auto& user = users_[l.page.username];
+  if (user.banned_at < 0 || user.banned_at > at) user.banned_at = at;
+}
+
+bool Portal::is_banned(std::string_view username, SimTime now) const {
+  const auto it = users_.find(std::string(username));
+  return it != users_.end() && it->second.banned_at >= 0 &&
+         now >= it->second.banned_at;
+}
+
+UserPage Portal::user_page(std::string_view username, SimTime now) const {
+  UserPage page;
+  page.username = std::string(username);
+  const auto it = users_.find(page.username);
+  if (it != users_.end()) {
+    for (const SimTime t : it->second.publish_times) {
+      if (t <= now) page.publish_times.push_back(t);
+    }
+    std::sort(page.publish_times.begin(), page.publish_times.end());
+    page.banned = it->second.banned_at >= 0 && now >= it->second.banned_at;
+  }
+  return page;
+}
+
+std::vector<std::string> Portal::all_usernames() const {
+  std::vector<std::string> names;
+  names.reserve(users_.size());
+  for (const auto& [name, state] : users_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::size_t Portal::removed_count(SimTime now) const {
+  std::size_t n = 0;
+  for (const Listing& l : listings_) {
+    if (removed_by(l, now)) ++n;
+  }
+  return n;
+}
+
+const Portal::Listing& Portal::listing(TorrentId id) const {
+  assert(id < listings_.size());
+  return listings_[id];
+}
+
+}  // namespace btpub

@@ -1,0 +1,45 @@
+// rss.hpp — the portal's RSS 2.0 feed as real XML.
+//
+// The paper's crawler learns about newborn torrents from the portals' RSS
+// feeds, which carry the title, category, size and publishing username as
+// XML. Portal::rss_since returns structured items; this module renders
+// them into an RSS 2.0 document and parses such documents back — so the
+// measurement apparatus can consume the same bytes a 2010 feed reader did.
+//
+// The parser is a small, strict XML subset reader (elements, attributes,
+// character data, entity escapes) — enough for RSS, with no external
+// dependencies.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "portal/portal.hpp"
+
+namespace btpub {
+
+/// Escapes &, <, >, " and ' for XML character data / attribute values.
+std::string xml_escape(std::string_view text);
+/// Reverses xml_escape (named entities + decimal/hex character refs).
+/// Throws std::invalid_argument on malformed entities.
+std::string xml_unescape(std::string_view text);
+
+/// Renders a portal RSS page: channel metadata plus one <item> per entry.
+/// Each item carries <title>, <guid> (the portal id), <category>,
+/// <btpub:user>, <btpub:size> and <pubDate> (simulated seconds).
+std::string render_rss(const std::string& portal_name,
+                       std::span<const RssItem> items);
+
+/// Parses a document produced by render_rss (or an equivalent feed).
+/// Returns the channel title and the items. Throws std::invalid_argument
+/// on malformed XML or missing mandatory elements.
+struct RssDocument {
+  std::string channel_title;
+  std::vector<RssItem> items;
+};
+RssDocument parse_rss(std::string_view xml);
+
+}  // namespace btpub

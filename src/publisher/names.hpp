@@ -1,0 +1,39 @@
+// names.hpp — deterministic generators for release titles, usernames and
+// promoting domains. Purely cosmetic on the surface, but the analysis
+// pipeline *parses* these artifacts (URL-in-filename detection, username/
+// domain correlation like the paper's "UltraTorrents -> ultratorrents.com"),
+// so the generators must produce the same kinds of patterns the authors
+// found in the wild.
+#pragma once
+
+#include <string>
+
+#include "portal/category.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+
+/// A scene-style release title for the given category, e.g.
+/// "Dark.Horizon.2010.DVDRip.XviD-CRoWN" or "Blue Panorama S03E07 HDTV".
+std::string make_release_title(ContentCategory category, Rng& rng);
+
+/// A "catchy" title for fake content: names a hot recent release.
+std::string make_catchy_title(ContentCategory category, Rng& rng);
+
+/// Regular-user style username ("mike_2041", "dvdfan88", ...).
+std::string make_regular_username(Rng& rng);
+
+/// Top-publisher style username, optionally echoing a site brand.
+std::string make_top_username(Rng& rng);
+
+/// Random hacked-account style username ("xK9f2QpL"), used by fake farms.
+std::string make_hacked_username(Rng& rng);
+
+/// A promoting domain ("divxatope.com" style). `brand_hint` seeds the name
+/// so a username can visibly match its domain.
+std::string make_domain(const std::string& brand_hint, Rng& rng);
+
+/// A brandable word to correlate username and domain.
+std::string make_brand(Rng& rng);
+
+}  // namespace btpub

@@ -1,0 +1,227 @@
+#include "publisher/publisher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "publisher/names.hpp"
+
+namespace btpub {
+namespace {
+
+/// Plausible payload size for a category, in bytes.
+std::int64_t draw_size(ContentCategory category, Rng& rng) {
+  auto mb = [](double v) { return static_cast<std::int64_t>(v * 1024.0 * 1024.0); };
+  switch (category) {
+    case ContentCategory::Movies:
+      return mb(rng.uniform(700.0, 4500.0));
+    case ContentCategory::TvShows:
+      return mb(rng.uniform(170.0, 1200.0));
+    case ContentCategory::Porn:
+      return mb(rng.uniform(200.0, 1500.0));
+    case ContentCategory::Music:
+      return mb(rng.uniform(60.0, 160.0));
+    case ContentCategory::Audiobooks:
+      return mb(rng.uniform(100.0, 600.0));
+    case ContentCategory::Games:
+      return mb(rng.uniform(900.0, 7800.0));
+    case ContentCategory::Software:
+      return mb(rng.uniform(30.0, 2500.0));
+    case ContentCategory::Ebooks:
+      return mb(rng.uniform(1.0, 40.0));
+    case ContentCategory::Other:
+      return mb(rng.uniform(10.0, 900.0));
+  }
+  return mb(100.0);
+}
+
+std::string language_tag(Language language) {
+  switch (language) {
+    case Language::Spanish:
+      return ".SPANiSH";
+    case Language::Italian:
+      return ".iTALiAN";
+    case Language::Dutch:
+      return ".DUTCH";
+    case Language::Swedish:
+      return ".SWEDiSH";
+    case Language::English:
+    case Language::Other:
+      return "";
+  }
+  return "";
+}
+
+std::string main_extension(ContentCategory category) {
+  switch (category) {
+    case ContentCategory::Movies:
+    case ContentCategory::TvShows:
+    case ContentCategory::Porn:
+      return ".avi";
+    case ContentCategory::Music:
+    case ContentCategory::Audiobooks:
+      return ".mp3";
+    case ContentCategory::Games:
+    case ContentCategory::Software:
+      return ".iso";
+    case ContentCategory::Ebooks:
+      return ".pdf";
+    case ContentCategory::Other:
+      return ".rar";
+  }
+  return ".dat";
+}
+
+std::string make_textbox(const Publisher& p, const std::string& title, Rng& rng) {
+  std::string box = "Release: " + title + "\n";
+  box += "Uploaded by " + p.usernames.front() + ".\n";
+  if (p.promo_domain.size() > 0 && has_channel(p.promo_channels, PromoChannel::Textbox)) {
+    box += "Visit http://www." + p.promo_domain + "/ for more releases";
+    if (p.cls == PublisherClass::TopPortalOwner) {
+      box += " and our private tracker (signup required)";
+    }
+    box += "!\n";
+  }
+  if (p.cls == PublisherClass::TopAltruistic) {
+    // The paper notes altruistic top publishers write extensive
+    // descriptions and ask for seeding help.
+    box += "Full notes: high quality rip, checked and complete. ";
+    box += "Please seed after downloading, my upload link is limited!\n";
+  }
+  if (rng.chance(0.3)) box += "Enjoy.\n";
+  return box;
+}
+
+}  // namespace
+
+PublishedWork Publisher::make_work(SimTime when, Rng& rng) {
+  PublishedWork work;
+  const ClassProfile& profile = class_profile(cls);
+
+  // --- Username.
+  if (is_fake_farm()) {
+    if (has_compromised_username && rng.chance(compromised_use_prob)) {
+      work.username = usernames.front();
+    } else {
+      // Cycle through the throwaway accounts.
+      const std::size_t offset = has_compromised_username ? 1 : 0;
+      const std::size_t throwaways =
+          usernames.size() > offset ? usernames.size() - offset : 0;
+      work.username = throwaways == 0
+                          ? usernames.front()
+                          : usernames[offset + (publish_count_ % throwaways)];
+    }
+  } else {
+    work.username = usernames.front();
+  }
+
+  // --- Endpoint.
+  std::size_t ip_index = 0;
+  switch (strategy) {
+    case IpStrategy::SingleIp:
+      ip_index = 0;
+      break;
+    case IpStrategy::HostingMulti:
+    case IpStrategy::FakeFarm:
+    case IpStrategy::MultiIsp:
+      ip_index = rotation_index_++ % endpoints.size();
+      break;
+    case IpStrategy::DynamicCommercial:
+      // The ISP re-assigns the address every couple of days.
+      ip_index = static_cast<std::size_t>(when / days(2)) % endpoints.size();
+      break;
+  }
+  work.endpoint = endpoints[ip_index];
+  work.endpoint_nat = nat && !hosted;
+
+  // --- Content.
+  work.category = draw_category(profile, rng);
+  work.language = language;
+  work.payload = cls == PublisherClass::FakeAntipiracy ? PayloadKind::FakeAntipiracy
+                 : cls == PublisherClass::FakeMalware  ? PayloadKind::FakeMalware
+                                                       : PayloadKind::Genuine;
+  work.title = is_fake_farm() ? make_catchy_title(work.category, rng)
+                              : make_release_title(work.category, rng);
+  work.title += language_tag(language);
+  if (!promo_domain.empty() &&
+      has_channel(promo_channels, PromoChannel::FilenameSuffix)) {
+    work.title += "-" + promo_domain;
+  }
+
+  // --- Payload files.
+  const std::int64_t total = draw_size(work.category, rng);
+  work.files.push_back(FileEntry{work.title + main_extension(work.category), total});
+  if (rng.chance(0.5)) {
+    work.files.push_back(FileEntry{work.title + ".nfo", 4 * 1024});
+  }
+  if (!promo_domain.empty() &&
+      has_channel(promo_channels, PromoChannel::PayloadTextFile)) {
+    std::string flat = promo_domain;
+    std::replace(flat.begin(), flat.end(), '.', '-');
+    work.files.push_back(FileEntry{"Visit-www-" + flat + ".txt", 120});
+  }
+
+  work.textbox = make_textbox(*this, work.title, rng);
+  work.expected_downloads =
+      rng.lognormal_median(popularity_median, popularity_sigma);
+  work.cross_posted = rng.chance(cross_post_probability);
+  ++publish_count_;
+  return work;
+}
+
+std::vector<Interval> plan_seed_sessions(const SeedingPolicy& policy,
+                                         SimTime birth, SimTime enough_seeders_at,
+                                         SimTime removal_time, SimTime hard_end,
+                                         SimDuration /*online_start*/, Rng& rng) {
+  constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  // Occasionally the seed box comes online only a while after the portal
+  // listing exists.
+  SimTime start = birth;
+  if (rng.chance(policy.delayed_start_prob)) {
+    start += static_cast<SimDuration>(
+        rng.exponential(static_cast<double>(policy.mean_start_delay)));
+  }
+
+  SimTime end;
+  if (policy.seed_until_removed) {
+    if (removal_time >= 0) {
+      end = removal_time + static_cast<SimDuration>(rng.exponential(
+                               static_cast<double>(policy.mean_post_removal_linger)));
+    } else {
+      end = birth + policy.max_seed_time;
+    }
+  } else {
+    SimTime leave = kNever;
+    if (policy.leave_after_other_seeders > 0 && enough_seeders_at != kNever) {
+      leave = enough_seeders_at + static_cast<SimDuration>(rng.exponential(
+                                      static_cast<double>(policy.mean_extra_seed)));
+    }
+    if (leave == kNever) {
+      // Nobody ever takes over: seed up to the cap and give up.
+      leave = birth + policy.max_seed_time;
+    }
+    end = std::clamp(leave, start + policy.min_seed_time,
+                     start + policy.max_seed_time);
+  }
+  end = std::min(end, hard_end);
+  if (end <= start) return {};
+
+  std::vector<Interval> sessions;
+  if (policy.daily_online_hours >= 24.0) {
+    sessions.push_back(Interval{start, end});
+    return sessions;
+  }
+  // Home publisher: online `daily_online_hours` out of every 24, anchored at
+  // publication (one publishes while online).
+  const SimDuration online = hours(policy.daily_online_hours);
+  SimTime cursor = start;
+  while (cursor < end) {
+    const SimTime session_end = std::min<SimTime>(cursor + online, end);
+    if (session_end > cursor) sessions.push_back(Interval{cursor, session_end});
+    cursor += kDay;
+  }
+  return sessions;
+}
+
+}  // namespace btpub

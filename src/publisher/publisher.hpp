@@ -1,0 +1,104 @@
+// publisher.hpp — a publisher agent: identity (usernames + IP strategy),
+// content production, URL promotion and seeding behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "portal/portal.hpp"
+#include "publisher/profile.hpp"
+#include "torrent/metainfo.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+
+using PublisherId = std::uint32_t;
+
+/// Everything the ecosystem needs to turn one publish action into a portal
+/// listing plus a swarm.
+struct PublishedWork {
+  std::string username;
+  Endpoint endpoint{};
+  bool endpoint_nat = false;
+  std::string title;
+  ContentCategory category = ContentCategory::Other;
+  Language language = Language::English;
+  std::string textbox;
+  std::vector<FileEntry> files;
+  PayloadKind payload = PayloadKind::Genuine;
+  double expected_downloads = 0.0;
+  /// Swarm existed before this portal's listing (published elsewhere
+  /// first): the initial-seeder identification will fail.
+  bool cross_posted = false;
+};
+
+/// A publisher instance. Mutable state (IP rotation, fake-farm username
+/// cycling) lives here; construction happens in population.cpp.
+class Publisher {
+ public:
+  PublisherId id = 0;
+  PublisherClass cls = PublisherClass::Regular;
+  IpStrategy strategy = IpStrategy::SingleIp;
+  /// All usernames this entity publishes under. Regular/top publishers
+  /// have exactly one; fake farms have many (hacked + throwaway).
+  std::vector<std::string> usernames;
+  /// The addresses this entity publishes from (stable servers, or the
+  /// rotation pool for dynamic strategies).
+  std::vector<Endpoint> endpoints;
+  /// Primary hosting/commercial ISP name (for ground-truth validation).
+  std::string primary_isp;
+  bool hosted = false;   // primary location is a hosting provider
+  bool nat = false;      // home connection behind NAT
+  Language language = Language::English;
+  /// Promoting site; empty for non-promoting publishers.
+  std::string promo_domain;
+  PromoChannel promo_channels = PromoChannel::None;
+  /// Publishing rate during the window, content/day (already scaled).
+  double window_rate = 0.0;
+  /// Historical (full-scale) rate and lifetime backing the Table-4 study.
+  double historical_rate = 0.0;
+  double lifetime_days = 0.0;
+  /// Per-torrent expected-download log-normal parameters (already include
+  /// any hosting/commercial popularity adjustment).
+  double popularity_median = 10.0;
+  double popularity_sigma = 1.0;
+  SeedingPolicy seeding;
+  double cross_post_probability = 0.2;
+  /// Daily window start (seconds past local midnight) when
+  /// daily_online_hours < 24.
+  SimDuration online_start = 0;
+  /// Fake farms only: usernames[0] is a hijacked formerly-legitimate
+  /// account, reused with this probability per publish (§3.3's "16
+  /// compromised usernames inside the top-100").
+  bool has_compromised_username = false;
+  double compromised_use_prob = 0.35;
+
+  /// Produces the next publish action at simulated time `when`.
+  PublishedWork make_work(SimTime when, Rng& rng);
+
+  /// True when this entity is a fake farm.
+  bool is_fake_farm() const noexcept { return is_fake(cls); }
+
+ private:
+  std::size_t rotation_index_ = 0;
+  std::size_t publish_count_ = 0;
+};
+
+/// Computes the seeding sessions for one published torrent.
+///
+/// `enough_seeders_at` is the instant at which the policy's
+/// leave_after_other_seeders-th non-publisher seeder appears (SimTime max
+/// when it never happens); `removal_time` is the portal removal instant
+/// (-1 when never removed); `hard_end` truncates everything (end of the
+/// simulated horizon). Availability windows (daily_online_hours < 24)
+/// split the result into multiple sessions.
+std::vector<Interval> plan_seed_sessions(const SeedingPolicy& policy,
+                                         SimTime birth, SimTime enough_seeders_at,
+                                         SimTime removal_time, SimTime hard_end,
+                                         SimDuration online_start, Rng& rng);
+
+}  // namespace btpub

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace btpub {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(SimDuration delay, Callback cb) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately — but stay clean and copy the handle.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++dispatched_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace btpub

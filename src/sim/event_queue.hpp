@@ -1,0 +1,62 @@
+// event_queue.hpp — minimal discrete-event simulation engine.
+//
+// The ecosystem driver and the live-monitor example schedule callbacks on a
+// simulated clock (publisher "publish" events, crawler RSS polls, tracker
+// query ticks). Events at equal timestamps run in scheduling order, which
+// keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace btpub {
+
+/// Discrete-event executor over SimTime.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `at`. Scheduling in the past
+  /// (before now()) is clamped to now().
+  void schedule_at(SimTime at, Callback cb);
+  /// Schedules `cb` `delay` seconds from now.
+  void schedule_in(SimDuration delay, Callback cb);
+
+  /// Current simulated time (time of the last dispatched event).
+  SimTime now() const noexcept { return now_; }
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with timestamp <= deadline; the clock ends at
+  /// max(now, deadline).
+  void run_until(SimTime deadline);
+  /// Dispatches the single next event, if any. Returns false when empty.
+  bool step();
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tiebreaker: FIFO within a timestamp
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace btpub

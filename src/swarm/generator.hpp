@@ -1,0 +1,90 @@
+// generator.hpp — demand model: who downloads a published content, when,
+// and for how long.
+//
+// Arrivals follow a non-homogeneous Poisson process whose rate decays
+// exponentially from the torrent's birth (the classic flash-crowd-then-
+// -decay shape measured by Izal et al. and Guo et al.), truncated when the
+// portal removes the listing. Downloaders of genuine content may convert to
+// seeders for a while; downloaders of fake content abandon within minutes
+// and never seed — which is what forces fake publishers into long seeding
+// sessions (paper §4.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/isp_catalog.hpp"
+#include "swarm/swarm.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+
+/// The population that downloads content: fresh eyeball-ISP users plus a
+/// sticky pool of known consumers (regular publishers also consume; top
+/// publishers mostly do not — §3.1's "40% of the top-100 download nothing").
+class ConsumerPool {
+ public:
+  ConsumerPool(const IspCatalog& catalog, Rng rng);
+
+  /// Adds a sticky consumer (e.g. a regular publisher's home IP) with the
+  /// given relative weight of appearing in any one swarm.
+  void add_sticky(Endpoint endpoint, double weight = 1.0);
+
+  /// Draws a downloader endpoint: with probability `sticky_bias` a sticky
+  /// consumer, otherwise a fresh residential address.
+  Endpoint draw(Rng& rng) const;
+
+  /// Probability that a draw comes from the sticky pool (default 2%).
+  void set_sticky_bias(double bias) { sticky_bias_ = bias; }
+
+  std::size_t sticky_count() const noexcept { return sticky_.size(); }
+
+ private:
+  const IspCatalog* catalog_;
+  mutable Rng rng_;
+  std::vector<Endpoint> sticky_;
+  std::vector<double> weights_;
+  double sticky_bias_ = 0.02;
+};
+
+/// Parameters of one torrent's demand.
+struct SwarmSpec {
+  SimTime birth = 0;
+  /// Expected number of downloads over an unbounded horizon.
+  double expected_downloads = 50.0;
+  /// Arrival-rate decay constant (rate ~ exp(-(t-birth)/tau)).
+  SimDuration decay_tau = days(4);
+  /// Hard stop for new arrivals (listing removal or end of simulation).
+  SimTime arrivals_end = 0;
+  /// Fake content: downloaders abandon quickly and never seed.
+  bool fake = false;
+  /// Fraction of downloaders behind NAT (unreachable for probes).
+  double nat_fraction = 0.35;
+  /// Median time a genuine downloader needs to complete.
+  SimDuration median_download_time = hours(2.5);
+  /// Probability a genuine downloader aborts before completing.
+  double abort_probability = 0.15;
+  /// Probability a completed downloader stays to seed, and for how long.
+  double seed_probability = 0.35;
+  SimDuration mean_seed_time = hours(2);
+};
+
+/// Generates downloader sessions for one swarm.
+class SwarmGenerator {
+ public:
+  explicit SwarmGenerator(const ConsumerPool& consumers) : consumers_(&consumers) {}
+
+  /// Appends downloader sessions to `swarm` per `spec`; returns how many
+  /// arrivals were generated. Does not finalize the swarm.
+  std::size_t generate(Swarm& swarm, const SwarmSpec& spec, Rng& rng) const;
+
+  /// The truncated-exponential arrival-count mean used internally; exposed
+  /// for tests: E[N] = expected * (1 - exp(-T/tau)).
+  static double truncated_mean(const SwarmSpec& spec);
+
+ private:
+  const ConsumerPool* consumers_;
+};
+
+}  // namespace btpub

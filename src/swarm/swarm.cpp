@@ -1,0 +1,175 @@
+#include "swarm/swarm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace btpub {
+
+Swarm::Swarm(Sha1Digest infohash, std::size_t n_pieces, SimTime birth)
+    : infohash_(infohash), n_pieces_(n_pieces == 0 ? 1 : n_pieces), birth_(birth) {}
+
+void Swarm::add_session(PeerSession session) {
+  if (finalized_) throw std::logic_error("Swarm: add_session after finalize");
+  if (session.depart <= session.arrive) return;  // degenerate, drop
+  sessions_.push_back(session);
+}
+
+void Swarm::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  events_.reserve(sessions_.size() * 2);
+  for (std::uint32_t i = 0; i < sessions_.size(); ++i) {
+    const PeerSession& s = sessions_[i];
+    events_.push_back(Event{s.arrive, EventKind::Arrive, i});
+    if (s.complete_at > s.arrive && s.complete_at < s.depart) {
+      events_.push_back(Event{s.complete_at, EventKind::Complete, i});
+    }
+    events_.push_back(Event{s.depart, EventKind::Depart, i});
+    last_departure_ = std::max(last_departure_, s.depart);
+    by_endpoint_[s.endpoint].push_back(i);
+  }
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.session < b.session;
+  });
+  rebuild_sweep();
+}
+
+void Swarm::rebuild_sweep() {
+  next_event_ = 0;
+  sweep_time_ = std::numeric_limits<SimTime>::min();
+  present_.clear();
+  position_.assign(sessions_.size(), kAbsent);
+  counts_ = SwarmCounts{};
+}
+
+void Swarm::advance_to(SimTime t) {
+  assert(finalized_);
+  if (t < sweep_time_) rebuild_sweep();
+  sweep_time_ = t;
+  while (next_event_ < events_.size() && events_[next_event_].at <= t) {
+    const Event& ev = events_[next_event_++];
+    const PeerSession& s = sessions_[ev.session];
+    switch (ev.kind) {
+      case EventKind::Arrive:
+        position_[ev.session] = static_cast<std::uint32_t>(present_.size());
+        present_.push_back(ev.session);
+        // Sessions that arrive already complete (the initial seeder) count
+        // as seeders from the start.
+        if (s.complete_at <= s.arrive) {
+          ++counts_.seeders;
+        } else {
+          ++counts_.leechers;
+        }
+        break;
+      case EventKind::Complete:
+        --counts_.leechers;
+        ++counts_.seeders;
+        break;
+      case EventKind::Depart: {
+        const std::uint32_t pos = position_[ev.session];
+        assert(pos != kAbsent);
+        const std::uint32_t last = present_.back();
+        present_[pos] = last;
+        position_[last] = pos;
+        present_.pop_back();
+        position_[ev.session] = kAbsent;
+        if (s.complete_at < s.depart) {
+          --counts_.seeders;
+        } else {
+          --counts_.leechers;
+        }
+        break;
+      }
+    }
+  }
+}
+
+SwarmCounts Swarm::counts_at(SimTime t) {
+  advance_to(t);
+  return counts_;
+}
+
+std::vector<const PeerSession*> Swarm::sample_peers(SimTime t, std::size_t k,
+                                                    Rng& rng) {
+  advance_to(t);
+  std::vector<const PeerSession*> out;
+  const std::size_t n = present_.size();
+  if (n == 0 || k == 0) return out;
+  if (k >= n) {
+    out.reserve(n);
+    for (std::uint32_t idx : present_) out.push_back(&sessions_[idx]);
+    return out;
+  }
+  // Floyd's algorithm: k distinct uniform indices in O(k) expected time.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(j)));
+    const std::size_t pick = chosen.insert(r).second ? r : j;
+    if (pick != r) chosen.insert(pick);
+    out.push_back(&sessions_[present_[pick]]);
+  }
+  return out;
+}
+
+std::vector<const PeerSession*> Swarm::peers_at(SimTime t) {
+  advance_to(t);
+  std::vector<const PeerSession*> out;
+  out.reserve(present_.size());
+  for (std::uint32_t idx : present_) out.push_back(&sessions_[idx]);
+  return out;
+}
+
+const PeerSession* Swarm::find_peer(const Endpoint& endpoint, SimTime t) {
+  assert(finalized_);
+  const auto it = by_endpoint_.find(endpoint);
+  if (it == by_endpoint_.end()) return nullptr;
+  for (std::uint32_t idx : it->second) {
+    if (sessions_[idx].present_at(t)) return &sessions_[idx];
+  }
+  return nullptr;
+}
+
+double Swarm::progress_at(const PeerSession& session, SimTime t) const {
+  if (t < session.arrive) return 0.0;
+  if (session.seeder_at(t)) return 1.0;
+  // Linear toward the (possibly never reached) completion instant.
+  const SimTime horizon = session.complete_at;
+  if (horizon == std::numeric_limits<SimTime>::max() ||
+      horizon <= session.arrive) {
+    // Peer that will never complete: crawl toward 90% over its stay.
+    const double frac = static_cast<double>(t - session.arrive) /
+                        static_cast<double>(
+                            std::max<SimTime>(session.depart - session.arrive, 1));
+    return std::min(0.9, frac * 0.9);
+  }
+  const double frac = static_cast<double>(t - session.arrive) /
+                      static_cast<double>(horizon - session.arrive);
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+Bitfield Swarm::bitfield_at(const PeerSession& session, SimTime t) const {
+  Bitfield field(n_pieces_);
+  const double progress = progress_at(session, t);
+  const auto k = static_cast<std::size_t>(
+      std::floor(progress * static_cast<double>(n_pieces_) + 1e-9));
+  field.set_prefix(k);
+  return field;
+}
+
+std::size_t Swarm::distinct_downloader_ips() const {
+  std::unordered_set<IpAddress> ips;
+  for (const PeerSession& s : sessions_) {
+    if (!s.is_publisher) ips.insert(s.endpoint.ip);
+  }
+  return ips.size();
+}
+
+}  // namespace btpub

@@ -1,0 +1,55 @@
+#include "torrent/magnet.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace btpub {
+
+std::string MagnetLink::to_uri() const {
+  std::string uri = "magnet:?xt=urn:btih:" + infohash.hex();
+  if (!display_name.empty()) uri += "&dn=" + url_escape(display_name);
+  for (const std::string& tracker : trackers) {
+    uri += "&tr=" + url_escape(tracker);
+  }
+  return uri;
+}
+
+std::optional<MagnetLink> MagnetLink::parse(std::string_view uri) {
+  static constexpr std::string_view kScheme = "magnet:?";
+  if (!starts_with(uri, kScheme)) return std::nullopt;
+  MagnetLink link;
+  bool have_hash = false;
+  for (const std::string& pair : split(uri.substr(kScheme.size()), '&')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = pair.substr(0, eq);
+    const std::string raw = pair.substr(eq + 1);
+    try {
+      if (key == "xt") {
+        static constexpr std::string_view kUrn = "urn:btih:";
+        if (!starts_with(raw, kUrn)) return std::nullopt;
+        const std::string hex = raw.substr(kUrn.size());
+        if (hex.size() != 40) return std::nullopt;
+        link.infohash = Sha1Digest::from_hex(hex);
+        // from_hex yields the zero digest on bad input; reject unless the
+        // text really was forty zeros.
+        if (link.infohash == Sha1Digest{} && hex != std::string(40, '0')) {
+          return std::nullopt;
+        }
+        have_hash = true;
+      } else if (key == "dn") {
+        link.display_name = url_unescape(raw);
+      } else if (key == "tr") {
+        link.trackers.push_back(url_unescape(raw));
+      }
+      // Other parameters (ws=, xl=, ...) are ignored.
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+  }
+  if (!have_hash) return std::nullopt;
+  return link;
+}
+
+}  // namespace btpub

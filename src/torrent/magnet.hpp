@@ -1,0 +1,31 @@
+// magnet.hpp — magnet URIs (BEP 9 metadata links).
+//
+// By 2010 the portals had started offering magnet links next to .torrent
+// downloads; a measurement apparatus has to parse both. A magnet link
+// carries the infohash (xt=urn:btih:<40 hex>), a display name (dn=) and
+// tracker URLs (tr=).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+
+namespace btpub {
+
+struct MagnetLink {
+  Sha1Digest infohash{};
+  std::string display_name;           // optional
+  std::vector<std::string> trackers;  // optional
+
+  /// Renders "magnet:?xt=urn:btih:<hex>&dn=...&tr=...".
+  std::string to_uri() const;
+
+  /// Parses a magnet URI; nullopt when the scheme or the infohash is
+  /// missing/malformed. Unknown parameters are ignored.
+  static std::optional<MagnetLink> parse(std::string_view uri);
+};
+
+}  // namespace btpub

@@ -1,0 +1,149 @@
+#include "torrent/metainfo.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "bencode/bencode.hpp"
+#include "util/strings.hpp"
+
+namespace btpub {
+namespace {
+
+/// Deterministic fake piece hashes: SHA-1(salted identity || index). The
+/// payload itself is never materialised; what matters downstream is that
+/// pieces_blob_ has the right shape and feeds a stable infohash.
+std::string synthesize_pieces(std::string_view name, std::int64_t total,
+                              std::int64_t piece_length, std::string_view salt,
+                              std::size_t n_pieces) {
+  std::string blob;
+  blob.reserve(n_pieces * 20);
+  for (std::size_t i = 0; i < n_pieces; ++i) {
+    Sha1 ctx;
+    ctx.update(name);
+    ctx.update(salt);
+    ctx.update(std::to_string(total));
+    ctx.update(std::to_string(piece_length));
+    ctx.update(std::to_string(i));
+    const Sha1Digest digest = ctx.finish();
+    blob.append(reinterpret_cast<const char*>(digest.bytes.data()),
+                digest.bytes.size());
+  }
+  return blob;
+}
+
+bencode::Value build_info_dict(const std::string& name, std::int64_t piece_length,
+                               const std::string& pieces_blob,
+                               const std::vector<FileEntry>& files,
+                               bool multi_file) {
+  bencode::Dict info;
+  info.emplace("name", name);
+  info.emplace("piece length", piece_length);
+  info.emplace("pieces", pieces_blob);
+  if (multi_file) {
+    bencode::List file_list;
+    for (const FileEntry& f : files) {
+      bencode::List path_parts;
+      for (const std::string& part : split(f.path, '/')) {
+        path_parts.emplace_back(part);
+      }
+      bencode::Dict fd;
+      fd.emplace("length", f.length);
+      fd.emplace("path", std::move(path_parts));
+      file_list.emplace_back(std::move(fd));
+    }
+    info.emplace("files", std::move(file_list));
+  } else {
+    info.emplace("length", files.front().length);
+  }
+  return bencode::Value(std::move(info));
+}
+
+}  // namespace
+
+std::int64_t Metainfo::total_size() const noexcept {
+  return std::accumulate(files_.begin(), files_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const FileEntry& f) {
+                           return acc + f.length;
+                         });
+}
+
+Metainfo Metainfo::make(std::string announce_url, std::string name,
+                        std::vector<FileEntry> files, std::int64_t piece_length,
+                        std::string_view salt, std::string comment) {
+  if (files.empty()) throw std::invalid_argument("Metainfo: no files");
+  if (piece_length <= 0) throw std::invalid_argument("Metainfo: bad piece length");
+  Metainfo m;
+  m.announce_ = std::move(announce_url);
+  m.name_ = std::move(name);
+  m.comment_ = std::move(comment);
+  m.piece_length_ = piece_length;
+  m.files_ = std::move(files);
+  m.multi_file_ = m.files_.size() > 1;
+  const std::int64_t total = m.total_size();
+  m.n_pieces_ = static_cast<std::size_t>((total + piece_length - 1) / piece_length);
+  if (m.n_pieces_ == 0) m.n_pieces_ = 1;
+  m.pieces_blob_ =
+      synthesize_pieces(m.name_, total, piece_length, salt, m.n_pieces_);
+  const bencode::Value info =
+      build_info_dict(m.name_, m.piece_length_, m.pieces_blob_, m.files_,
+                      m.multi_file_);
+  m.infohash_ = Sha1::hash(bencode::encode(info));
+  return m;
+}
+
+std::string Metainfo::encode() const {
+  bencode::Dict root;
+  root.emplace("announce", announce_);
+  if (!comment_.empty()) root.emplace("comment", comment_);
+  bencode::Value info =
+      build_info_dict(name_, piece_length_, pieces_blob_, files_, multi_file_);
+  root.emplace("info", std::move(info));
+  return bencode::encode(bencode::Value(std::move(root)));
+}
+
+Metainfo Metainfo::parse(std::string_view torrent_bytes) {
+  const bencode::Value root = bencode::decode(torrent_bytes);
+  Metainfo m;
+  m.announce_ = root.find_string("announce").value_or("");
+  m.comment_ = root.find_string("comment").value_or("");
+  const bencode::Value& info = root.at("info");
+  m.name_ = info.find_string("name").value_or("");
+  if (m.name_.empty()) throw std::invalid_argument("Metainfo: missing name");
+  const auto piece_length = info.find_integer("piece length");
+  if (!piece_length || *piece_length <= 0) {
+    throw std::invalid_argument("Metainfo: missing piece length");
+  }
+  m.piece_length_ = *piece_length;
+  const auto pieces = info.find_string("pieces");
+  if (!pieces || pieces->size() % 20 != 0) {
+    throw std::invalid_argument("Metainfo: malformed pieces blob");
+  }
+  m.pieces_blob_ = *pieces;
+  m.n_pieces_ = m.pieces_blob_.size() / 20;
+  if (const bencode::Value* file_list = info.find("files")) {
+    m.multi_file_ = true;
+    for (const bencode::Value& entry : file_list->as_list()) {
+      FileEntry f;
+      f.length = entry.find_integer("length").value_or(0);
+      std::vector<std::string> parts;
+      for (const bencode::Value& part : entry.at("path").as_list()) {
+        parts.push_back(part.as_string());
+      }
+      f.path = join(parts, "/");
+      m.files_.push_back(std::move(f));
+    }
+    if (m.files_.empty()) throw std::invalid_argument("Metainfo: empty file list");
+  } else {
+    m.multi_file_ = false;
+    FileEntry f;
+    f.path = m.name_;
+    const auto length = info.find_integer("length");
+    if (!length) throw std::invalid_argument("Metainfo: missing length");
+    f.length = *length;
+    m.files_.push_back(std::move(f));
+  }
+  m.infohash_ = Sha1::hash(bencode::encode(info));
+  return m;
+}
+
+}  // namespace btpub

@@ -1,0 +1,189 @@
+#include "torrent/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace btpub {
+namespace {
+
+constexpr std::string_view kProtocol = "BitTorrent protocol";
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t read_u32(std::string_view bytes, std::size_t pos) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + k]));
+  };
+  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+}  // namespace
+
+std::string Handshake::encode() const {
+  std::string out;
+  out.reserve(68);
+  out.push_back(static_cast<char>(kProtocol.size()));
+  out.append(kProtocol);
+  out.append(8, '\0');  // reserved bits
+  out.append(reinterpret_cast<const char*>(infohash.bytes.data()),
+             infohash.bytes.size());
+  out.append(reinterpret_cast<const char*>(peer_id.data()), peer_id.size());
+  return out;
+}
+
+std::optional<Handshake> Handshake::decode(std::string_view bytes) {
+  if (bytes.size() != 68) return std::nullopt;
+  if (static_cast<unsigned char>(bytes[0]) != kProtocol.size()) return std::nullopt;
+  if (bytes.substr(1, kProtocol.size()) != kProtocol) return std::nullopt;
+  Handshake h;
+  std::memcpy(h.infohash.bytes.data(), bytes.data() + 28, 20);
+  std::memcpy(h.peer_id.data(), bytes.data() + 48, 20);
+  return h;
+}
+
+std::array<std::uint8_t, 20> Handshake::make_peer_id(std::uint64_t seed) {
+  std::array<std::uint8_t, 20> id{};
+  constexpr std::string_view prefix = "-BP1000-";
+  std::memcpy(id.data(), prefix.data(), prefix.size());
+  // Fill the remaining 12 bytes from a SplitMix-style expansion of the seed.
+  std::uint64_t x = seed;
+  for (std::size_t i = prefix.size(); i < id.size(); ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    id[i] = static_cast<std::uint8_t>((z ^ (z >> 31)) & 0xff);
+  }
+  return id;
+}
+
+std::string encode_bitfield_message(const Bitfield& field) {
+  const std::string body = field.to_bytes();
+  std::string out;
+  append_u32(out, static_cast<std::uint32_t>(1 + body.size()));
+  out.push_back(static_cast<char>(WireMessageType::Bitfield));
+  out += body;
+  return out;
+}
+
+std::string encode_have_message(std::uint32_t piece) {
+  std::string out;
+  append_u32(out, 5);
+  out.push_back(static_cast<char>(WireMessageType::Have));
+  append_u32(out, piece);
+  return out;
+}
+
+std::string encode_state_message(WireMessageType type) {
+  const auto id = static_cast<unsigned char>(type);
+  if (id > static_cast<unsigned char>(WireMessageType::NotInterested)) {
+    throw std::invalid_argument("wire: not a state message");
+  }
+  std::string out;
+  append_u32(out, 1);
+  out.push_back(static_cast<char>(id));
+  return out;
+}
+
+std::string encode_keepalive() {
+  std::string out;
+  append_u32(out, 0);
+  return out;
+}
+
+namespace {
+
+std::string encode_block_body(WireMessageType type, const BlockRequest& r) {
+  std::string out;
+  append_u32(out, 13);
+  out.push_back(static_cast<char>(type));
+  append_u32(out, r.piece);
+  append_u32(out, r.begin);
+  append_u32(out, r.length);
+  return out;
+}
+
+}  // namespace
+
+std::string encode_request_message(const BlockRequest& request) {
+  return encode_block_body(WireMessageType::Request, request);
+}
+
+std::string encode_cancel_message(const BlockRequest& request) {
+  return encode_block_body(WireMessageType::Cancel, request);
+}
+
+BlockRequest parse_block_request(std::string_view payload) {
+  if (payload.size() != 12) {
+    throw std::invalid_argument("wire: bad request/cancel body");
+  }
+  BlockRequest r;
+  r.piece = read_u32(payload, 0);
+  r.begin = read_u32(payload, 4);
+  r.length = read_u32(payload, 8);
+  return r;
+}
+
+std::string encode_piece_message(std::uint32_t piece, std::uint32_t begin,
+                                 std::string_view data) {
+  std::string out;
+  append_u32(out, static_cast<std::uint32_t>(9 + data.size()));
+  out.push_back(static_cast<char>(WireMessageType::Piece));
+  append_u32(out, piece);
+  append_u32(out, begin);
+  out += data;
+  return out;
+}
+
+PieceBlock parse_piece_block(std::string_view payload) {
+  if (payload.size() < 8) throw std::invalid_argument("wire: bad piece body");
+  PieceBlock block;
+  block.piece = read_u32(payload, 0);
+  block.begin = read_u32(payload, 4);
+  block.data = std::string(payload.substr(8));
+  return block;
+}
+
+std::string encode_port_message(std::uint16_t port) {
+  std::string out;
+  append_u32(out, 3);
+  out.push_back(static_cast<char>(WireMessageType::Port));
+  out.push_back(static_cast<char>((port >> 8) & 0xff));
+  out.push_back(static_cast<char>(port & 0xff));
+  return out;
+}
+
+std::uint16_t parse_port_message(std::string_view payload) {
+  if (payload.size() != 2) throw std::invalid_argument("wire: bad port body");
+  return static_cast<std::uint16_t>(
+      (static_cast<unsigned char>(payload[0]) << 8) |
+      static_cast<unsigned char>(payload[1]));
+}
+
+std::optional<WireMessage> decode_message(std::string_view bytes, std::size_t& pos) {
+  if (pos + 4 > bytes.size()) return std::nullopt;
+  const std::uint32_t length = read_u32(bytes, pos);
+  if (length == 0) {  // keep-alive
+    pos += 4;
+    WireMessage msg;
+    msg.type = WireMessageType::KeepAlive;
+    return msg;
+  }
+  if (pos + 4 + length > bytes.size()) return std::nullopt;
+  const auto id = static_cast<unsigned char>(bytes[pos + 4]);
+  if (id > static_cast<unsigned char>(WireMessageType::Port)) {
+    throw std::invalid_argument("wire: unknown message id " + std::to_string(id));
+  }
+  WireMessage msg;
+  msg.type = static_cast<WireMessageType>(id);
+  msg.payload = std::string(bytes.substr(pos + 5, length - 1));
+  pos += 4 + length;
+  return msg;
+}
+
+}  // namespace btpub

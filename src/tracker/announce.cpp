@@ -1,0 +1,104 @@
+#include "tracker/announce.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "bencode/bencode.hpp"
+#include "net/compact.hpp"
+#include "util/strings.hpp"
+
+namespace btpub {
+
+std::string to_query_string(const AnnounceRequest& request) {
+  std::string hash_bytes(reinterpret_cast<const char*>(request.infohash.bytes.data()),
+                         request.infohash.bytes.size());
+  std::string out = "/announce?info_hash=" + url_escape(hash_bytes);
+  out += "&ip=" + request.client.ip.to_string();
+  out += "&port=" + std::to_string(request.client.port);
+  out += "&numwant=" + std::to_string(request.numwant);
+  out += "&t=" + std::to_string(request.now);
+  return out;
+}
+
+std::optional<AnnounceRequest> parse_query_string(std::string_view query) {
+  const auto qmark = query.find('?');
+  if (qmark == std::string_view::npos) return std::nullopt;
+  AnnounceRequest req;
+  bool have_hash = false, have_ip = false, have_port = false;
+  for (const std::string& pair : split(query.substr(qmark + 1), '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = pair.substr(0, eq);
+    const std::string raw = pair.substr(eq + 1);
+    try {
+      if (key == "info_hash") {
+        const std::string bytes = url_unescape(raw);
+        if (bytes.size() != 20) return std::nullopt;
+        for (std::size_t i = 0; i < 20; ++i) {
+          req.infohash.bytes[i] = static_cast<std::uint8_t>(bytes[i]);
+        }
+        have_hash = true;
+      } else if (key == "ip") {
+        const auto ip = IpAddress::parse(raw);
+        if (!ip) return std::nullopt;
+        req.client.ip = *ip;
+        have_ip = true;
+      } else if (key == "port") {
+        unsigned port = 0;
+        const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), port);
+        if (res.ec != std::errc{} || port > 65535) return std::nullopt;
+        req.client.port = static_cast<std::uint16_t>(port);
+        have_port = true;
+      } else if (key == "numwant") {
+        std::size_t numwant = 0;
+        const auto res =
+            std::from_chars(raw.data(), raw.data() + raw.size(), numwant);
+        if (res.ec != std::errc{}) return std::nullopt;
+        req.numwant = numwant;
+      } else if (key == "t") {
+        SimTime t = 0;
+        const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), t);
+        if (res.ec != std::errc{}) return std::nullopt;
+        req.now = t;
+      }
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+  }
+  if (!have_hash || !have_ip || !have_port) return std::nullopt;
+  return req;
+}
+
+std::string encode_announce_reply(const AnnounceReply& reply) {
+  bencode::Dict dict;
+  if (!reply.ok) {
+    dict.emplace("failure reason", reply.failure_reason);
+    return bencode::encode(bencode::Value(std::move(dict)));
+  }
+  dict.emplace("interval", static_cast<std::int64_t>(reply.interval));
+  dict.emplace("complete", static_cast<std::int64_t>(reply.complete));
+  dict.emplace("incomplete", static_cast<std::int64_t>(reply.incomplete));
+  dict.emplace("peers", encode_compact_peers(reply.peers));
+  return bencode::encode(bencode::Value(std::move(dict)));
+}
+
+AnnounceReply decode_announce_reply(std::string_view bytes) {
+  const bencode::Value root = bencode::decode(bytes);
+  AnnounceReply reply;
+  if (const auto failure = root.find_string("failure reason")) {
+    reply.ok = false;
+    reply.failure_reason = *failure;
+    return reply;
+  }
+  reply.ok = true;
+  reply.interval = root.find_integer("interval").value_or(0);
+  reply.complete = static_cast<std::uint32_t>(root.find_integer("complete").value_or(0));
+  reply.incomplete =
+      static_cast<std::uint32_t>(root.find_integer("incomplete").value_or(0));
+  if (const auto peers = root.find_string("peers")) {
+    reply.peers = decode_compact_peers(*peers);
+  }
+  return reply;
+}
+
+}  // namespace btpub

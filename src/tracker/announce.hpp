@@ -1,0 +1,50 @@
+// announce.hpp — the tracker HTTP announce protocol surface: request
+// query-string encoding (BEP 3 over HTTP GET) and the bencoded response.
+// Kept wire-real so the crawler parses exactly what a deployed tracker
+// would emit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "net/ip.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+
+/// An announce request as issued by a client (or by the crawler, which
+/// always asks for the maximum number of peers, §2 of the paper).
+struct AnnounceRequest {
+  Sha1Digest infohash{};
+  Endpoint client{};
+  std::size_t numwant = 200;
+  SimTime now = 0;  // simulated clock carried in-band instead of wall time
+};
+
+/// Decoded announce response.
+struct AnnounceReply {
+  bool ok = false;
+  std::string failure_reason;     // set when !ok
+  SimDuration interval = 0;       // tracker-mandated min re-announce gap
+  std::uint32_t complete = 0;     // seeders
+  std::uint32_t incomplete = 0;   // leechers
+  std::vector<Endpoint> peers;    // compact-decoded
+};
+
+/// Renders "/announce?info_hash=...&ip=...&port=...&numwant=...".
+std::string to_query_string(const AnnounceRequest& request);
+/// Parses a query string produced by to_query_string. nullopt when any
+/// required field is missing or malformed.
+std::optional<AnnounceRequest> parse_query_string(std::string_view query);
+
+/// Bencodes a reply (success or failure form).
+std::string encode_announce_reply(const AnnounceReply& reply);
+/// Parses a bencoded reply. Throws bencode::Error on malformed bytes.
+AnnounceReply decode_announce_reply(std::string_view bytes);
+
+}  // namespace btpub

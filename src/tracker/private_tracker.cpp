@@ -1,0 +1,87 @@
+#include "tracker/private_tracker.hpp"
+
+#include <cmath>
+
+namespace btpub {
+
+PrivateTracker::PrivateTracker(PrivateTrackerConfig config, Rng rng)
+    : config_(config), tracker_(config.tracker, rng.fork()), rng_(rng) {}
+
+std::optional<std::string> PrivateTracker::register_user(
+    const std::string& username) {
+  if (username.empty() || passkey_by_username_.contains(username)) {
+    return std::nullopt;
+  }
+  // 32-hex-char passkey, as the real sites issue.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string passkey;
+  do {
+    passkey.clear();
+    for (int i = 0; i < 32; ++i) {
+      passkey.push_back(kHex[rng_.index(16)]);
+    }
+  } while (by_passkey_.contains(passkey));
+  Account account;
+  account.username = username;
+  by_passkey_.emplace(passkey, std::move(account));
+  passkey_by_username_.emplace(username, passkey);
+  return passkey;
+}
+
+bool PrivateTracker::grant_vip(const std::string& username) {
+  const auto it = passkey_by_username_.find(username);
+  if (it == passkey_by_username_.end()) return false;
+  by_passkey_.at(it->second).vip = true;
+  return true;
+}
+
+AnnounceReply PrivateTracker::announce(const PrivateAnnounce& request) {
+  const auto it = by_passkey_.find(request.passkey);
+  if (it == by_passkey_.end()) {
+    ++stats_.denied_auth;
+    AnnounceReply reply;
+    reply.ok = false;
+    reply.failure_reason = "unregistered passkey";
+    return reply;
+  }
+  Account& account = it->second;
+  account.uploaded += request.uploaded_delta;
+  account.downloaded += request.downloaded_delta;
+
+  const bool over_grace =
+      account.downloaded > static_cast<std::uint64_t>(config_.grace_bytes);
+  const double ratio =
+      account.downloaded == 0
+          ? HUGE_VAL
+          : static_cast<double>(account.uploaded) /
+                static_cast<double>(account.downloaded);
+  if (over_grace && ratio < config_.min_ratio) {
+    if (account.vip) {
+      ++stats_.vip_bypasses;
+    } else {
+      ++stats_.denied_ratio;
+      AnnounceReply reply;
+      reply.ok = false;
+      reply.failure_reason = "share ratio too low";
+      return reply;
+    }
+  }
+  return tracker_.announce(request.request);
+}
+
+std::optional<double> PrivateTracker::ratio(const std::string& username) const {
+  const auto it = passkey_by_username_.find(username);
+  if (it == passkey_by_username_.end()) return std::nullopt;
+  const Account& account = by_passkey_.at(it->second);
+  if (account.downloaded == 0) return HUGE_VAL;
+  return static_cast<double>(account.uploaded) /
+         static_cast<double>(account.downloaded);
+}
+
+std::optional<bool> PrivateTracker::is_vip(const std::string& username) const {
+  const auto it = passkey_by_username_.find(username);
+  if (it == passkey_by_username_.end()) return std::nullopt;
+  return by_passkey_.at(it->second).vip;
+}
+
+}  // namespace btpub

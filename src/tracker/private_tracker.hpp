@@ -1,0 +1,87 @@
+// private_tracker.hpp — the private-tracker business model (paper §5.1).
+//
+// A quarter of the top publishers run their own BitTorrent portals, "in
+// some cases associated with private trackers [that] require clients to
+// maintain a certain seeding ratio": users must register, authenticate
+// every announce with a passkey, and keep uploaded/downloaded above a
+// threshold — or buy VIP access, one of the documented income channels.
+// This class implements that economy on top of the ordinary Tracker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "tracker/tracker.hpp"
+
+namespace btpub {
+
+struct PrivateTrackerConfig {
+  /// Accounts whose ratio falls below this are refused new downloads...
+  double min_ratio = 0.5;
+  /// ...once they have downloaded more than this many bytes (newcomers get
+  /// a grace allowance).
+  std::int64_t grace_bytes = std::int64_t{2} * 1024 * 1024 * 1024;
+  TrackerConfig tracker;
+};
+
+/// An authenticated announce: the ordinary request plus the account's
+/// passkey and its cumulative transfer counters for this torrent.
+struct PrivateAnnounce {
+  std::string passkey;
+  AnnounceRequest request;
+  std::uint64_t uploaded_delta = 0;    // bytes uploaded since last announce
+  std::uint64_t downloaded_delta = 0;  // bytes downloaded since last announce
+};
+
+class PrivateTracker {
+ public:
+  PrivateTracker(PrivateTrackerConfig config, Rng rng);
+
+  /// Registers an account; returns its passkey (the announce credential).
+  /// Duplicate usernames are rejected with std::nullopt.
+  std::optional<std::string> register_user(const std::string& username);
+
+  /// VIP accounts (paid) bypass the ratio requirement (§5.1: "collecting a
+  /// fee for VIP access that allows the client to download any content
+  /// without sustaining any kind of seeding ratio").
+  bool grant_vip(const std::string& username);
+
+  /// Authenticated announce. Fails with "unregistered passkey" or
+  /// "share ratio too low" before ever reaching the swarm.
+  AnnounceReply announce(const PrivateAnnounce& request);
+
+  /// uploaded/downloaded for an account; infinity-like (HUGE_VAL) while
+  /// nothing was downloaded. nullopt for unknown users.
+  std::optional<double> ratio(const std::string& username) const;
+  std::optional<bool> is_vip(const std::string& username) const;
+
+  /// The underlying swarm-serving tracker (host swarms through this).
+  Tracker& tracker() noexcept { return tracker_; }
+
+  struct Stats {
+    std::uint64_t denied_ratio = 0;
+    std::uint64_t denied_auth = 0;
+    std::uint64_t vip_bypasses = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t account_count() const noexcept { return by_passkey_.size(); }
+
+ private:
+  struct Account {
+    std::string username;
+    std::uint64_t uploaded = 0;
+    std::uint64_t downloaded = 0;
+    bool vip = false;
+  };
+
+  PrivateTrackerConfig config_;
+  Tracker tracker_;
+  Rng rng_;
+  std::unordered_map<std::string, Account> by_passkey_;
+  std::unordered_map<std::string, std::string> passkey_by_username_;
+  Stats stats_;
+};
+
+}  // namespace btpub

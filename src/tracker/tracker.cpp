@@ -1,0 +1,120 @@
+#include "tracker/tracker.hpp"
+
+#include <stdexcept>
+
+#include "bencode/bencode.hpp"
+
+namespace btpub {
+
+Tracker::Tracker(TrackerConfig config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  if (config_.max_query_gap < config_.min_query_gap) {
+    throw std::invalid_argument("Tracker: max_query_gap < min_query_gap");
+  }
+  enforced_gap_ = config_.min_query_gap +
+                  static_cast<SimDuration>(
+                      rng_.uniform() *
+                      static_cast<double>(config_.max_query_gap -
+                                          config_.min_query_gap));
+}
+
+void Tracker::host_swarm(Swarm& swarm) {
+  if (!swarm.finalized()) {
+    throw std::logic_error("Tracker: swarm must be finalized before hosting");
+  }
+  swarms_[swarm.infohash()] = &swarm;
+}
+
+bool Tracker::hosts(const Sha1Digest& infohash) const {
+  return swarms_.contains(infohash);
+}
+
+bool Tracker::is_blacklisted(IpAddress client) const {
+  return blacklist_.contains(client.value());
+}
+
+void Tracker::reset_state(Rng rng) {
+  rng_ = rng;
+  last_query_.clear();
+  violations_.clear();
+  blacklist_.clear();
+}
+
+std::string Tracker::handle_get(std::string_view query_string) {
+  const auto request = parse_query_string(query_string);
+  AnnounceReply reply;
+  if (!request) {
+    reply.ok = false;
+    reply.failure_reason = "malformed request";
+    return encode_announce_reply(reply);
+  }
+  return encode_announce_reply(announce(*request));
+}
+
+AnnounceReply Tracker::announce(const AnnounceRequest& request) {
+  ++stats_.queries;
+  AnnounceReply reply;
+  reply.interval = enforced_gap_;
+
+  if (blacklist_.contains(request.client.ip.value())) {
+    ++stats_.rejected_blacklist;
+    reply.ok = false;
+    reply.failure_reason = "client banned";
+    return reply;
+  }
+
+  const ClientKey key{request.client.ip.value(), request.infohash};
+  const auto last = last_query_.find(key);
+  if (last != last_query_.end() && request.now - last->second < enforced_gap_) {
+    ++stats_.rejected_rate;
+    auto& count = violations_[request.client.ip.value()];
+    if (++count >= config_.blacklist_after) {
+      blacklist_.insert(request.client.ip.value());
+    }
+    reply.ok = false;
+    reply.failure_reason = "slow down";
+    return reply;
+  }
+  last_query_[key] = request.now;
+
+  const auto it = swarms_.find(request.infohash);
+  if (it == swarms_.end()) {
+    ++stats_.rejected_unknown;
+    reply.ok = false;
+    reply.failure_reason = "unregistered torrent";
+    return reply;
+  }
+
+  Swarm& swarm = *it->second;
+  const SwarmCounts counts = swarm.counts_at(request.now);
+  reply.ok = true;
+  reply.complete = counts.seeders;
+  reply.incomplete = counts.leechers;
+  const std::size_t want = std::min(request.numwant, config_.max_numwant);
+  for (const PeerSession* session : swarm.sample_peers(request.now, want, rng_)) {
+    reply.peers.push_back(session->endpoint);
+  }
+  return reply;
+}
+
+std::string Tracker::scrape(const Sha1Digest& infohash, SimTime now) {
+  bencode::Dict files;
+  const auto it = swarms_.find(infohash);
+  if (it != swarms_.end()) {
+    const SwarmCounts counts = it->second->counts_at(now);
+    bencode::Dict entry;
+    entry.emplace("complete", static_cast<std::int64_t>(counts.seeders));
+    entry.emplace("incomplete", static_cast<std::int64_t>(counts.leechers));
+    entry.emplace("downloaded",
+                  static_cast<std::int64_t>(it->second->session_count()));
+    files.emplace(
+        std::string(reinterpret_cast<const char*>(infohash.bytes.data()),
+                    infohash.bytes.size()),
+        bencode::Value(std::move(entry)));
+  }
+  bencode::Dict root;
+  root.emplace("files", bencode::Value(std::move(files)));
+  return bencode::encode(bencode::Value(std::move(root)));
+}
+
+}  // namespace btpub

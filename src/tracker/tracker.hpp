@@ -1,0 +1,102 @@
+// tracker.hpp — the BitTorrent tracker (OpenBitTorrent substitute).
+//
+// Serves announce queries over swarms hosted as interval schedules: a query
+// at time t returns the seeder/leecher counts and a uniform random subset
+// of at most `max_numwant` present peers, bencoded with compact peer lists,
+// exactly the view the paper's crawler aggregates. The tracker enforces the
+// query-rate limit the authors had to respect (one query per 10–15 minutes
+// per client and torrent) and blacklists abusive clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "swarm/swarm.hpp"
+#include "tracker/announce.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+
+struct TrackerConfig {
+  /// Hard cap on peers per reply (the paper: at most 200).
+  std::size_t max_numwant = 200;
+  /// Minimum gap between two queries from one client for one torrent.
+  /// The actual enforced gap is drawn per tracker in [min, max] to model
+  /// load-dependent throttling.
+  SimDuration min_query_gap = minutes(10);
+  SimDuration max_query_gap = minutes(15);
+  /// Number of rate violations before the client IP is blacklisted.
+  std::uint32_t blacklist_after = 50;
+  /// The announce URL advertised in metainfo files.
+  std::string announce_url = "http://tracker.btpub.example/announce";
+};
+
+/// The tracker. Not thread-safe; the simulation is single-threaded.
+class Tracker {
+ public:
+  explicit Tracker(TrackerConfig config, Rng rng);
+
+  const TrackerConfig& config() const noexcept { return config_; }
+  const std::string& announce_url() const noexcept { return config_.announce_url; }
+
+  /// Hosts a finalized swarm; the swarm must outlive the tracker.
+  void host_swarm(Swarm& swarm);
+  bool hosts(const Sha1Digest& infohash) const;
+  std::size_t swarm_count() const noexcept { return swarms_.size(); }
+
+  /// Full protocol round trip: takes the bencoded-over-HTTP GET query
+  /// string, returns the bencoded response body.
+  std::string handle_get(std::string_view query_string);
+
+  /// Struct-level announce (used by simulator-internal callers and by
+  /// handle_get). Applies rate limiting and blacklisting.
+  AnnounceReply announce(const AnnounceRequest& request);
+
+  /// Scrape: bencoded per-infohash {complete, incomplete} counters at
+  /// time `now`.
+  std::string scrape(const Sha1Digest& infohash, SimTime now);
+
+  bool is_blacklisted(IpAddress client) const;
+
+  /// Clears per-client rate-limit/blacklist state and re-seeds the peer-
+  /// sampling stream; hosted swarms, stats and the enforced gap are kept.
+  /// Lets one tracker serve repeated identical crawls deterministically.
+  void reset_state(Rng rng);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t rejected_rate = 0;
+    std::uint64_t rejected_blacklist = 0;
+    std::uint64_t rejected_unknown = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// The gap this tracker actually enforces (drawn once at construction).
+  SimDuration enforced_gap() const noexcept { return enforced_gap_; }
+
+ private:
+  struct ClientKey {
+    std::uint32_t ip;
+    Sha1Digest infohash;
+    bool operator==(const ClientKey&) const = default;
+  };
+  struct ClientKeyHash {
+    std::size_t operator()(const ClientKey& k) const noexcept {
+      return std::hash<Sha1Digest>{}(k.infohash) ^
+             (static_cast<std::size_t>(k.ip) * 0x9E3779B97F4A7C15ULL);
+    }
+  };
+
+  TrackerConfig config_;
+  Rng rng_;
+  SimDuration enforced_gap_;
+  std::unordered_map<Sha1Digest, Swarm*> swarms_;
+  std::unordered_map<ClientKey, SimTime, ClientKeyHash> last_query_;
+  std::unordered_map<std::uint32_t, std::uint32_t> violations_;
+  std::unordered_set<std::uint32_t> blacklist_;
+  Stats stats_;
+};
+
+}  // namespace btpub

@@ -1,0 +1,193 @@
+#include "tracker/udp.hpp"
+
+#include <cstring>
+
+namespace btpub {
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffff));
+}
+
+std::uint16_t get_u16(std::string_view d, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      (static_cast<unsigned char>(d[at]) << 8) |
+      static_cast<unsigned char>(d[at + 1]));
+}
+
+std::uint32_t get_u32(std::string_view d, std::size_t at) {
+  return (static_cast<std::uint32_t>(get_u16(d, at)) << 16) | get_u16(d, at + 2);
+}
+
+std::uint64_t get_u64(std::string_view d, std::size_t at) {
+  return (static_cast<std::uint64_t>(get_u32(d, at)) << 32) | get_u32(d, at + 4);
+}
+
+}  // namespace
+
+// ---- connect --------------------------------------------------------------
+
+std::string UdpConnectRequest::encode() const {
+  std::string out;
+  out.reserve(16);
+  put_u64(out, kUdpProtocolMagic);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Connect));
+  put_u32(out, transaction_id);
+  return out;
+}
+
+std::optional<UdpConnectRequest> UdpConnectRequest::decode(
+    std::string_view datagram) {
+  if (datagram.size() != 16) return std::nullopt;
+  if (get_u64(datagram, 0) != kUdpProtocolMagic) return std::nullopt;
+  if (get_u32(datagram, 8) != static_cast<std::uint32_t>(UdpAction::Connect)) {
+    return std::nullopt;
+  }
+  UdpConnectRequest req;
+  req.transaction_id = get_u32(datagram, 12);
+  return req;
+}
+
+std::string UdpConnectResponse::encode() const {
+  std::string out;
+  out.reserve(16);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Connect));
+  put_u32(out, transaction_id);
+  put_u64(out, connection_id);
+  return out;
+}
+
+std::optional<UdpConnectResponse> UdpConnectResponse::decode(
+    std::string_view datagram) {
+  if (datagram.size() != 16) return std::nullopt;
+  if (get_u32(datagram, 0) != static_cast<std::uint32_t>(UdpAction::Connect)) {
+    return std::nullopt;
+  }
+  UdpConnectResponse res;
+  res.transaction_id = get_u32(datagram, 4);
+  res.connection_id = get_u64(datagram, 8);
+  return res;
+}
+
+// ---- announce -------------------------------------------------------------
+
+std::string UdpAnnounceRequest::encode() const {
+  std::string out;
+  out.reserve(98);
+  put_u64(out, connection_id);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Announce));
+  put_u32(out, transaction_id);
+  out.append(reinterpret_cast<const char*>(infohash.bytes.data()), 20);
+  out.append(reinterpret_cast<const char*>(peer_id.data()), 20);
+  put_u64(out, downloaded);
+  put_u64(out, left);
+  put_u64(out, uploaded);
+  put_u32(out, event);
+  put_u32(out, ip);
+  put_u32(out, key);
+  put_u32(out, num_want);
+  put_u16(out, port);
+  return out;
+}
+
+std::optional<UdpAnnounceRequest> UdpAnnounceRequest::decode(
+    std::string_view datagram) {
+  if (datagram.size() != 98) return std::nullopt;
+  if (get_u32(datagram, 8) != static_cast<std::uint32_t>(UdpAction::Announce)) {
+    return std::nullopt;
+  }
+  UdpAnnounceRequest req;
+  req.connection_id = get_u64(datagram, 0);
+  req.transaction_id = get_u32(datagram, 12);
+  std::memcpy(req.infohash.bytes.data(), datagram.data() + 16, 20);
+  std::memcpy(req.peer_id.data(), datagram.data() + 36, 20);
+  req.downloaded = get_u64(datagram, 56);
+  req.left = get_u64(datagram, 64);
+  req.uploaded = get_u64(datagram, 72);
+  req.event = get_u32(datagram, 80);
+  req.ip = get_u32(datagram, 84);
+  req.key = get_u32(datagram, 88);
+  req.num_want = get_u32(datagram, 92);
+  req.port = get_u16(datagram, 96);
+  return req;
+}
+
+std::string UdpAnnounceResponse::encode() const {
+  std::string out;
+  out.reserve(20 + peers.size() * 6);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Announce));
+  put_u32(out, transaction_id);
+  put_u32(out, interval);
+  put_u32(out, leechers);
+  put_u32(out, seeders);
+  for (const Endpoint& p : peers) {
+    put_u32(out, p.ip.value());
+    put_u16(out, p.port);
+  }
+  return out;
+}
+
+std::optional<UdpAnnounceResponse> UdpAnnounceResponse::decode(
+    std::string_view datagram) {
+  if (datagram.size() < 20 || (datagram.size() - 20) % 6 != 0) {
+    return std::nullopt;
+  }
+  if (get_u32(datagram, 0) != static_cast<std::uint32_t>(UdpAction::Announce)) {
+    return std::nullopt;
+  }
+  UdpAnnounceResponse res;
+  res.transaction_id = get_u32(datagram, 4);
+  res.interval = get_u32(datagram, 8);
+  res.leechers = get_u32(datagram, 12);
+  res.seeders = get_u32(datagram, 16);
+  for (std::size_t at = 20; at < datagram.size(); at += 6) {
+    Endpoint peer;
+    peer.ip = IpAddress(get_u32(datagram, at));
+    peer.port = get_u16(datagram, at + 4);
+    res.peers.push_back(peer);
+  }
+  return res;
+}
+
+// ---- error ----------------------------------------------------------------
+
+std::string UdpErrorResponse::encode() const {
+  std::string out;
+  out.reserve(8 + message.size());
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Error));
+  put_u32(out, transaction_id);
+  out += message;
+  return out;
+}
+
+std::optional<UdpErrorResponse> UdpErrorResponse::decode(
+    std::string_view datagram) {
+  if (datagram.size() < 8) return std::nullopt;
+  if (get_u32(datagram, 0) != static_cast<std::uint32_t>(UdpAction::Error)) {
+    return std::nullopt;
+  }
+  UdpErrorResponse res;
+  res.transaction_id = get_u32(datagram, 4);
+  res.message = std::string(datagram.substr(8));
+  return res;
+}
+
+std::optional<UdpAction> udp_response_action(std::string_view datagram) {
+  if (datagram.size() < 4) return std::nullopt;
+  const std::uint32_t action = get_u32(datagram, 0);
+  if (action > static_cast<std::uint32_t>(UdpAction::Error)) return std::nullopt;
+  return static_cast<UdpAction>(action);
+}
+
+}  // namespace btpub

@@ -1,0 +1,88 @@
+// udp.hpp — the UDP tracker protocol (BEP 15).
+//
+// OpenBitTorrent — the tracker behind most of the paper's torrents — served
+// announces over UDP as well as HTTP. The packet formats here are
+// wire-exact (big-endian, the 0x41727101980 magic, the connect/announce/
+// error actions); the simulated tracker answers datagrams through
+// Tracker::handle_udp (udp_server.hpp), including the connection-id
+// handshake and expiry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "net/ip.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+
+inline constexpr std::uint64_t kUdpProtocolMagic = 0x41727101980ULL;
+
+enum class UdpAction : std::uint32_t {
+  Connect = 0,
+  Announce = 1,
+  Scrape = 2,
+  Error = 3,
+};
+
+struct UdpConnectRequest {
+  std::uint32_t transaction_id = 0;
+
+  std::string encode() const;
+  static std::optional<UdpConnectRequest> decode(std::string_view datagram);
+};
+
+struct UdpConnectResponse {
+  std::uint32_t transaction_id = 0;
+  std::uint64_t connection_id = 0;
+
+  std::string encode() const;
+  static std::optional<UdpConnectResponse> decode(std::string_view datagram);
+};
+
+struct UdpAnnounceRequest {
+  std::uint64_t connection_id = 0;
+  std::uint32_t transaction_id = 0;
+  Sha1Digest infohash{};
+  std::array<std::uint8_t, 20> peer_id{};
+  std::uint64_t downloaded = 0;
+  std::uint64_t left = 0;
+  std::uint64_t uploaded = 0;
+  std::uint32_t event = 0;  // 0 none, 1 completed, 2 started, 3 stopped
+  std::uint32_t ip = 0;     // 0 = use sender address
+  std::uint32_t key = 0;
+  std::uint32_t num_want = ~0u;  // default: tracker decides
+  std::uint16_t port = 0;
+
+  std::string encode() const;
+  static std::optional<UdpAnnounceRequest> decode(std::string_view datagram);
+};
+
+struct UdpAnnounceResponse {
+  std::uint32_t transaction_id = 0;
+  std::uint32_t interval = 0;
+  std::uint32_t leechers = 0;
+  std::uint32_t seeders = 0;
+  std::vector<Endpoint> peers;
+
+  std::string encode() const;
+  static std::optional<UdpAnnounceResponse> decode(std::string_view datagram);
+};
+
+struct UdpErrorResponse {
+  std::uint32_t transaction_id = 0;
+  std::string message;
+
+  std::string encode() const;
+  static std::optional<UdpErrorResponse> decode(std::string_view datagram);
+};
+
+/// Peeks at the action field of a response datagram (offset 0).
+std::optional<UdpAction> udp_response_action(std::string_view datagram);
+
+}  // namespace btpub

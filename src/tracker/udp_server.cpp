@@ -1,0 +1,56 @@
+#include "tracker/udp_server.hpp"
+
+namespace btpub {
+
+std::string UdpTrackerEndpoint::error(std::uint32_t transaction_id,
+                                      std::string message) const {
+  UdpErrorResponse res;
+  res.transaction_id = transaction_id;
+  res.message = std::move(message);
+  return res.encode();
+}
+
+std::string UdpTrackerEndpoint::handle(std::string_view datagram,
+                                       const Endpoint& from, SimTime now) {
+  // Connect?
+  if (const auto connect = UdpConnectRequest::decode(datagram)) {
+    std::uint64_t id = rng_.next();
+    while (connections_.contains(id)) id = rng_.next();
+    connections_.emplace(id, Connection{now, from.ip.value()});
+    UdpConnectResponse res;
+    res.transaction_id = connect->transaction_id;
+    res.connection_id = id;
+    return res.encode();
+  }
+  // Announce?
+  if (const auto announce = UdpAnnounceRequest::decode(datagram)) {
+    const auto it = connections_.find(announce->connection_id);
+    if (it == connections_.end() || now - it->second.issued > kConnectionTtl ||
+        it->second.ip != from.ip.value()) {
+      return error(announce->transaction_id, "invalid connection id");
+    }
+    AnnounceRequest request;
+    request.infohash = announce->infohash;
+    request.client.ip =
+        announce->ip != 0 ? IpAddress(announce->ip) : from.ip;
+    request.client.port = announce->port;
+    request.numwant = announce->num_want == ~0u
+                          ? tracker_->config().max_numwant
+                          : announce->num_want;
+    request.now = now;
+    const AnnounceReply reply = tracker_->announce(request);
+    if (!reply.ok) return error(announce->transaction_id, reply.failure_reason);
+    UdpAnnounceResponse res;
+    res.transaction_id = announce->transaction_id;
+    res.interval = static_cast<std::uint32_t>(reply.interval);
+    res.leechers = reply.incomplete;
+    res.seeders = reply.complete;
+    res.peers = reply.peers;
+    return res.encode();
+  }
+  // Anything else: protocol violation. BEP 15 says to ignore, but an error
+  // datagram with transaction id 0 is friendlier to diagnose.
+  return error(0, "malformed datagram");
+}
+
+}  // namespace btpub

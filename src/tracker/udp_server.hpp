@@ -1,0 +1,42 @@
+// udp_server.hpp — the tracker's BEP 15 datagram endpoint: the
+// connect-handshake state machine (connection ids, expiry) in front of the
+// same announce engine the HTTP endpoint uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tracker/tracker.hpp"
+#include "tracker/udp.hpp"
+
+namespace btpub {
+
+/// Wraps a Tracker with the UDP protocol front end. Connection ids are
+/// issued on connect and honoured for two minutes, per BEP 15.
+class UdpTrackerEndpoint {
+ public:
+  explicit UdpTrackerEndpoint(Tracker& tracker, Rng rng)
+      : tracker_(&tracker), rng_(rng) {}
+
+  /// Handles one request datagram from `from` at simulated time `now` and
+  /// returns the response datagram (connect / announce / error).
+  std::string handle(std::string_view datagram, const Endpoint& from,
+                     SimTime now);
+
+  static constexpr SimDuration kConnectionTtl = minutes(2);
+
+ private:
+  struct Connection {
+    SimTime issued = 0;
+    std::uint32_t ip = 0;
+  };
+
+  std::string error(std::uint32_t transaction_id, std::string message) const;
+
+  Tracker* tracker_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+};
+
+}  // namespace btpub

@@ -1,0 +1,111 @@
+// rng.hpp — deterministic pseudo-random number generation for the simulator.
+//
+// Everything in btpub that needs randomness draws from an explicitly-passed
+// Rng so that a single seed reproduces an entire ecosystem, crawl and
+// analysis run bit-for-bit. The generator is xoshiro256** (Blackman/Vigna),
+// which is fast, has a 2^256-1 period and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace btpub {
+
+/// Deterministic random number generator plus the distributions the
+/// ecosystem model needs (uniform, normal, lognormal, exponential,
+/// Zipf, Pareto). Satisfies UniformRandomBitGenerator so it can also be
+/// used with <random> adaptors if ever required.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Forks an independent child stream; used to give each subsystem its
+  /// own generator so adding draws in one module does not perturb others.
+  Rng fork() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Lognormal parameterised by the *median* and sigma of log-space:
+  /// exp(log(median) + sigma * N(0,1)). Heavy-tail workhorse for website
+  /// value / income / visits (Table 5) and content popularity.
+  double lognormal_median(double median, double sigma) noexcept;
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) noexcept;
+  /// Pareto with scale x_min and shape alpha (alpha > 0).
+  double pareto(double x_min, double alpha) noexcept;
+
+  /// Zipf-distributed rank in [1, n] with exponent s, by inversion on the
+  /// precomputed CDF held by ZipfSampler; this method is the slow O(log n)
+  /// one-off variant.
+  std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Picks a uniformly random element index of a non-empty span.
+  std::size_t index(std::size_t size) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Reservoir-samples k distinct indices out of [0, n). Order is random.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+  /// Picks an index with probability proportional to weights[i].
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// Precomputed-CDF Zipf sampler: O(n) setup, O(log n) per draw. Used for
+/// content-popularity ranks where millions of draws share one (n, s).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Rank in [1, n]; rank 1 is the most probable.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace btpub

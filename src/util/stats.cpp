@@ -1,0 +1,161 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace btpub {
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double q) {
+  const auto sorted = sorted_copy(values);
+  return percentile_sorted(sorted, q);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+BoxStats box_stats(std::span<const double> values) {
+  BoxStats b;
+  if (values.empty()) return b;
+  const auto sorted = sorted_copy(values);
+  b.min = sorted.front();
+  b.p25 = percentile_sorted(sorted, 25.0);
+  b.median = percentile_sorted(sorted, 50.0);
+  b.p75 = percentile_sorted(sorted, 75.0);
+  b.max = sorted.back();
+  b.count = sorted.size();
+  return b;
+}
+
+SummaryRow summary_row(std::span<const double> values) {
+  SummaryRow s;
+  if (values.empty()) return s;
+  const auto sorted = sorted_copy(values);
+  s.min = sorted.front();
+  s.median = percentile_sorted(sorted, 50.0);
+  s.avg = mean(values);
+  s.max = sorted.back();
+  s.count = sorted.size();
+  return s;
+}
+
+double gini(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const auto sorted = sorted_copy(values);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  // G = (2 * sum(i * x_i) / (n * sum(x)) ) - (n + 1) / n, x ascending, i from 1.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  const double n = static_cast<double>(sorted.size());
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+std::vector<LorenzPoint> top_share_curve(std::span<const double> contributions,
+                                         std::span<const double> top_percents) {
+  std::vector<LorenzPoint> curve;
+  curve.reserve(top_percents.size());
+  std::vector<double> desc(contributions.begin(), contributions.end());
+  std::sort(desc.begin(), desc.end(), std::greater<>());
+  const double total = std::accumulate(desc.begin(), desc.end(), 0.0);
+  std::vector<double> cum(desc.size());
+  std::partial_sum(desc.begin(), desc.end(), cum.begin());
+  for (double x : top_percents) {
+    LorenzPoint p;
+    p.top_percent = x;
+    if (total > 0.0 && !desc.empty()) {
+      auto k = static_cast<std::size_t>(
+          std::ceil(x / 100.0 * static_cast<double>(desc.size())));
+      k = std::clamp<std::size_t>(k, 0, desc.size());
+      p.content_percent = k == 0 ? 0.0 : cum[k - 1] / total * 100.0;
+    }
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double top_k_share(std::span<const double> contributions, std::size_t k) {
+  if (contributions.empty() || k == 0) return 0.0;
+  std::vector<double> desc(contributions.begin(), contributions.end());
+  std::sort(desc.begin(), desc.end(), std::greater<>());
+  const double total = std::accumulate(desc.begin(), desc.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  k = std::min(k, desc.size());
+  const double top = std::accumulate(desc.begin(), desc.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
+  return top / total;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins) : lo(lo_), hi(hi_) {
+  assert(hi_ > lo_ && bins > 0);
+  counts.assign(bins, 0);
+}
+
+void Histogram::add(double v) {
+  const double span = hi - lo;
+  auto idx = static_cast<std::ptrdiff_t>((v - lo) / span * static_cast<double>(counts.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(idx)];
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+double Histogram::fraction(std::size_t i) const {
+  const std::size_t t = total();
+  if (t == 0 || i >= counts.size()) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(t);
+}
+
+std::string to_string(const BoxStats& b) {
+  std::ostringstream os;
+  os << "min=" << b.min << " p25=" << b.p25 << " med=" << b.median << " p75=" << b.p75
+     << " max=" << b.max << " (n=" << b.count << ")";
+  return os.str();
+}
+
+std::string to_string(const SummaryRow& s) {
+  std::ostringstream os;
+  os << s.min << "/" << s.median << "/" << s.avg << "/" << s.max << " (n=" << s.count
+     << ")";
+  return os.str();
+}
+
+}  // namespace btpub

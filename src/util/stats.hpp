@@ -1,0 +1,85 @@
+// stats.hpp — descriptive statistics used by the analysis pipeline and the
+// bench harnesses: percentiles, box-plot summaries (Figures 3 and 4),
+// min/median/avg/max rows (Tables 4 and 5), Gini coefficient and CDF points
+// (Figure 1 skewness), and simple histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace btpub {
+
+/// Five-number summary backing a box plot (the paper's Figures 3 & 4 report
+/// 25th/50th/75th percentiles; we also keep the whiskers).
+struct BoxStats {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// min/median/avg/max row as printed in the paper's Tables 4 and 5.
+struct SummaryRow {
+  double min = 0.0;
+  double median = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated percentile, q in [0, 100]. Returns 0 for empty input.
+double percentile(std::span<const double> values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+double median(std::span<const double> values);
+
+BoxStats box_stats(std::span<const double> values);
+
+SummaryRow summary_row(std::span<const double> values);
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly equal,
+/// -> 1 = maximally skewed). Used to quantify Figure 1's contribution skew.
+double gini(std::span<const double> values);
+
+/// One point of the "top x% of publishers contribute y% of content" curve.
+struct LorenzPoint {
+  double top_percent = 0.0;      // x: top share of the population, in percent
+  double content_percent = 0.0;  // y: share of total mass they account for
+};
+
+/// Computes the Figure-1 curve: sorts contributions descending and reports
+/// the cumulative share held by the top x% for each requested x.
+std::vector<LorenzPoint> top_share_curve(std::span<const double> contributions,
+                                         std::span<const double> top_percents);
+
+/// Share of total mass held by the k largest contributors.
+double top_k_share(std::span<const double> contributions, std::size_t k);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double lo_, double hi_, std::size_t bins);
+  void add(double v);
+  std::size_t total() const;
+  /// Fraction of samples in bucket i.
+  double fraction(std::size_t i) const;
+};
+
+/// Renders a BoxStats line like "min=1 p25=3 med=7 p75=12 max=40 (n=84)".
+std::string to_string(const BoxStats& b);
+std::string to_string(const SummaryRow& s);
+
+}  // namespace btpub

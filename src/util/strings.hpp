@@ -1,0 +1,39 @@
+// strings.hpp — small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace btpub {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains_icase(std::string_view haystack, std::string_view needle);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Percent-encodes arbitrary bytes for use in URLs/query strings.
+std::string url_escape(std::string_view bytes);
+/// Inverse of url_escape; throws std::invalid_argument on malformed input.
+std::string url_unescape(std::string_view text);
+
+/// printf-lite double formatting with fixed decimals.
+std::string format_double(double v, int decimals);
+
+/// Formats 1234567 as "1.23M", 54321 as "54.3K" etc. (used in Table 5
+/// where the paper prints "33K", "2.8M").
+std::string humanize(double v);
+
+/// Percent with one decimal: 0.3012 -> "30.1%".
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace btpub

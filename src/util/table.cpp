@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace btpub {
+
+AsciiTable& AsciiTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+AsciiTable& AsciiTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+AsciiTable& AsciiTable::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+AsciiTable& AsciiTable::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string AsciiTable::render() const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) widen(r.cells);
+  }
+
+  auto render_line = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    return os.str();
+  };
+  auto rule = [&widths]() {
+    std::ostringstream os;
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (!widths.empty()) {
+    out << rule() << "\n";
+    if (!header_.empty()) {
+      out << render_line(header_) << "\n" << rule() << "\n";
+    }
+    for (const auto& r : rows_) {
+      if (r.is_separator) {
+        out << rule() << "\n";
+      } else {
+        out << render_line(r.cells) << "\n";
+      }
+    }
+    out << rule() << "\n";
+  }
+  for (const auto& n : notes_) out << "  " << n << "\n";
+  return out.str();
+}
+
+void AsciiTable::print() const {
+  const std::string s = render();
+  std::fputs(s.c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace btpub

@@ -1,0 +1,39 @@
+// table.hpp — ASCII table renderer. Every bench binary prints its
+// reproduction of a paper table/figure through this, so the output is
+// uniform and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace btpub {
+
+/// Column-aligned ASCII table with a title, header row and body rows.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  AsciiTable& header(std::vector<std::string> columns);
+  AsciiTable& row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  AsciiTable& separator();
+
+  /// Free-form note printed under the table (e.g. "paper: 30% / ours: 29%").
+  AsciiTable& note(std::string text);
+
+  std::string render() const;
+  /// render() + std::fputs to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace btpub

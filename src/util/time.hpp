@@ -1,0 +1,75 @@
+// time.hpp — simulated-time value types. The whole ecosystem runs on a
+// simulated clock measured in whole seconds since the start of a scenario;
+// wall-clock time is never consulted (determinism requirement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace btpub {
+
+/// Seconds on the simulated clock. Plain integral type wrapped in helpers
+/// rather than <chrono> so the dataset records stay trivially serialisable.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+constexpr SimDuration minutes(double m) noexcept {
+  return static_cast<SimDuration>(m * static_cast<double>(kMinute));
+}
+constexpr SimDuration hours(double h) noexcept {
+  return static_cast<SimDuration>(h * static_cast<double>(kHour));
+}
+constexpr SimDuration days(double d) noexcept {
+  return static_cast<SimDuration>(d * static_cast<double>(kDay));
+}
+
+constexpr double to_minutes(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMinute);
+}
+constexpr double to_hours(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+constexpr double to_days(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+
+/// "3d 04:05:09"-style rendering for logs and reports.
+inline std::string format_duration(SimDuration d) {
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  const auto dd = d / kDay;
+  const auto hh = (d % kDay) / kHour;
+  const auto mm = (d % kHour) / kMinute;
+  const auto ss = d % kMinute;
+  char buf[64];
+  if (dd > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lldd %02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(dd), static_cast<long long>(hh),
+                  static_cast<long long>(mm), static_cast<long long>(ss));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(hh), static_cast<long long>(mm),
+                  static_cast<long long>(ss));
+  }
+  return buf;
+}
+
+/// Half-open time interval [start, end). Used for peer/seeder sessions.
+struct Interval {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  constexpr SimDuration length() const noexcept { return end - start; }
+  constexpr bool contains(SimTime t) const noexcept { return t >= start && t < end; }
+  constexpr bool overlaps(const Interval& o) const noexcept {
+    return start < o.end && o.start < end;
+  }
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace btpub

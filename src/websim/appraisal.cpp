@@ -1,0 +1,78 @@
+#include "websim/appraisal.hpp"
+
+#include <cmath>
+
+#include "crypto/sha1.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+
+AppraisalService::AppraisalService(std::string name, double bias,
+                                   double noise_sigma)
+    : name_(std::move(name)), bias_(bias), noise_sigma_(noise_sigma) {}
+
+SiteEstimate AppraisalService::estimate(const Website& site) const {
+  // Deterministic per (service, domain): seed a private stream from a hash
+  // of both so repeat queries agree and services disagree with each other.
+  const Sha1Digest digest = Sha1::hash(name_ + "|" + site.domain);
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest.bytes[i];
+  Rng rng(seed);
+
+  auto perturb = [&](double truth) {
+    if (truth <= 0.0) return 0.0;
+    const double factor = bias_ * std::exp(noise_sigma_ * rng.normal());
+    return truth * factor;
+  };
+  SiteEstimate e;
+  e.value_usd = perturb(site.value_usd);
+  e.daily_income_usd = perturb(site.daily_income_usd);
+  e.daily_visits = perturb(site.daily_visits);
+  return e;
+}
+
+AppraisalPanel AppraisalPanel::standard() {
+  AppraisalPanel panel;
+  // Names are generic stand-ins for the six real monitoring services; the
+  // bias/noise spread is what matters to the averaging methodology.
+  panel.services_.emplace_back("siteworthmeter", 1.10, 0.35);
+  panel.services_.emplace_back("webvaluator", 0.85, 0.30);
+  panel.services_.emplace_back("trafficounter", 1.00, 0.25);
+  panel.services_.emplace_back("domainappraisr", 1.25, 0.40);
+  panel.services_.emplace_back("adrevenuewatch", 0.75, 0.30);
+  panel.services_.emplace_back("rankmetrics", 1.05, 0.20);
+  return panel;
+}
+
+std::vector<SiteEstimate> AppraisalPanel::all_estimates(const Website& site) const {
+  std::vector<SiteEstimate> estimates;
+  estimates.reserve(services_.size());
+  for (const AppraisalService& service : services_) {
+    estimates.push_back(service.estimate(site));
+  }
+  return estimates;
+}
+
+SiteEstimate AppraisalPanel::average(const Website& site) const {
+  SiteEstimate avg;
+  if (services_.empty()) return avg;
+  for (const SiteEstimate& e : all_estimates(site)) {
+    avg.value_usd += e.value_usd;
+    avg.daily_income_usd += e.daily_income_usd;
+    avg.daily_visits += e.daily_visits;
+  }
+  const auto n = static_cast<double>(services_.size());
+  avg.value_usd /= n;
+  avg.daily_income_usd /= n;
+  avg.daily_visits /= n;
+  return avg;
+}
+
+std::optional<SiteEstimate> AppraisalPanel::average(
+    const WebsiteDirectory& directory, std::string_view domain) const {
+  const Website* site = directory.find(domain);
+  if (site == nullptr) return std::nullopt;
+  return average(*site);
+}
+
+}  // namespace btpub

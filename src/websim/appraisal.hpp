@@ -1,0 +1,68 @@
+// appraisal.hpp — the six independent website-statistics services.
+//
+// The paper estimates each promoting site's value, daily income and daily
+// visits by querying six web monitoring services and averaging. Each
+// simulated service reports the ground truth perturbed by a service-
+// specific multiplicative bias and per-domain noise, deterministic in
+// (service, domain) so repeated queries agree — like cached estimates on
+// the real services.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "websim/website.hpp"
+
+namespace btpub {
+
+/// One service's (or the panel-averaged) estimate for a site.
+struct SiteEstimate {
+  double value_usd = 0.0;
+  double daily_income_usd = 0.0;
+  double daily_visits = 0.0;
+};
+
+/// A single monitoring service with its own systematic bias.
+class AppraisalService {
+ public:
+  AppraisalService(std::string name, double bias, double noise_sigma);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Deterministic noisy estimate of a site's economics.
+  SiteEstimate estimate(const Website& site) const;
+
+ private:
+  std::string name_;
+  double bias_;
+  double noise_sigma_;
+};
+
+/// The panel of six services used by the income analysis (Table 5).
+class AppraisalPanel {
+ public:
+  /// Builds the standard six-service panel.
+  static AppraisalPanel standard();
+
+  std::size_t size() const noexcept { return services_.size(); }
+  const std::vector<AppraisalService>& services() const noexcept { return services_; }
+
+  /// Per-service estimates for one site.
+  std::vector<SiteEstimate> all_estimates(const Website& site) const;
+
+  /// The cross-service average the paper uses "to reduce any potential
+  /// error in the provided statistics".
+  SiteEstimate average(const Website& site) const;
+
+  /// Convenience: look up the domain and average; nullopt when unknown.
+  std::optional<SiteEstimate> average(const WebsiteDirectory& directory,
+                                      std::string_view domain) const;
+
+ private:
+  std::vector<AppraisalService> services_;
+};
+
+}  // namespace btpub

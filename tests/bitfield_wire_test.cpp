@@ -1,0 +1,292 @@
+// Piece bitfields and the peer-wire handshake / message framing.
+#include <gtest/gtest.h>
+
+#include "torrent/bitfield.hpp"
+#include "torrent/wire.hpp"
+
+namespace btpub {
+namespace {
+
+TEST(BitfieldTest, SetGetCount) {
+  Bitfield f(10);
+  EXPECT_EQ(f.size(), 10u);
+  EXPECT_EQ(f.count(), 0u);
+  f.set(0);
+  f.set(9);
+  EXPECT_TRUE(f.get(0));
+  EXPECT_TRUE(f.get(9));
+  EXPECT_FALSE(f.get(5));
+  EXPECT_EQ(f.count(), 2u);
+  f.set(9, false);
+  EXPECT_EQ(f.count(), 1u);
+}
+
+TEST(BitfieldTest, OutOfRangeThrows) {
+  Bitfield f(8);
+  EXPECT_THROW(f.get(8), std::out_of_range);
+  EXPECT_THROW(f.set(8), std::out_of_range);
+}
+
+TEST(BitfieldTest, CompleteAndFraction) {
+  Bitfield f(3);
+  EXPECT_FALSE(f.complete());
+  f.set_prefix(3);
+  EXPECT_TRUE(f.complete());
+  EXPECT_DOUBLE_EQ(f.fraction(), 1.0);
+  Bitfield half(4);
+  half.set_prefix(2);
+  EXPECT_DOUBLE_EQ(half.fraction(), 0.5);
+  EXPECT_FALSE(half.complete());
+  EXPECT_FALSE(Bitfield().complete());  // empty field is never complete
+}
+
+TEST(BitfieldTest, SetPrefixClamps) {
+  Bitfield f(5);
+  f.set_prefix(100);
+  EXPECT_TRUE(f.complete());
+}
+
+TEST(BitfieldTest, WireLayoutMsbFirst) {
+  Bitfield f(9);
+  f.set(0);
+  const std::string bytes = f.to_bytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x80);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x00);
+  f.set(8);
+  EXPECT_EQ(static_cast<unsigned char>(f.to_bytes()[1]), 0x80);
+}
+
+class BitfieldRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitfieldRoundTrip, BytesRoundTrip) {
+  const std::size_t n = GetParam();
+  Bitfield f(n);
+  for (std::size_t i = 0; i < n; i += 3) f.set(i);
+  const Bitfield parsed = Bitfield::from_bytes(f.to_bytes(), n);
+  EXPECT_EQ(parsed, f);
+  EXPECT_EQ(parsed.count(), f.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitfieldRoundTrip,
+                         ::testing::Values(1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u));
+
+TEST(BitfieldTest, FromBytesRejectsWrongLength) {
+  EXPECT_THROW(Bitfield::from_bytes("ab", 8), std::invalid_argument);
+  EXPECT_THROW(Bitfield::from_bytes("", 1), std::invalid_argument);
+}
+
+TEST(BitfieldTest, FromBytesRejectsNonzeroSpareBits) {
+  std::string bytes(1, static_cast<char>(0xFF));  // all 8 bits set
+  EXPECT_THROW(Bitfield::from_bytes(bytes, 5), std::invalid_argument);
+  // 5-piece field with only valid bits set parses fine.
+  std::string ok(1, static_cast<char>(0xF8));
+  EXPECT_TRUE(Bitfield::from_bytes(ok, 5).complete());
+}
+
+TEST(HandshakeTest, EncodeDecodeRoundTrip) {
+  Handshake hs;
+  hs.infohash = Sha1::hash("some torrent");
+  hs.peer_id = Handshake::make_peer_id(42);
+  const std::string wire = hs.encode();
+  ASSERT_EQ(wire.size(), 68u);
+  const auto decoded = Handshake::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->infohash, hs.infohash);
+  EXPECT_EQ(decoded->peer_id, hs.peer_id);
+}
+
+TEST(HandshakeTest, RejectsMalformed) {
+  EXPECT_FALSE(Handshake::decode("short").has_value());
+  std::string wire = Handshake{}.encode();
+  wire[0] = 5;  // wrong pstr length
+  EXPECT_FALSE(Handshake::decode(wire).has_value());
+  std::string wire2 = Handshake{}.encode();
+  wire2[1] = 'X';  // corrupted protocol string
+  EXPECT_FALSE(Handshake::decode(wire2).has_value());
+}
+
+TEST(HandshakeTest, PeerIdConventionalPrefix) {
+  const auto id = Handshake::make_peer_id(7);
+  EXPECT_EQ(std::string(id.begin(), id.begin() + 8), "-BP1000-");
+  EXPECT_NE(Handshake::make_peer_id(7), Handshake::make_peer_id(8));
+  EXPECT_EQ(Handshake::make_peer_id(7), Handshake::make_peer_id(7));
+}
+
+TEST(WireMessages, BitfieldMessageRoundTrip) {
+  Bitfield f(12);
+  f.set_prefix(12);
+  const std::string msg = encode_bitfield_message(f);
+  std::size_t pos = 0;
+  const auto decoded = decode_message(msg, pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, WireMessageType::Bitfield);
+  EXPECT_EQ(pos, msg.size());
+  EXPECT_TRUE(Bitfield::from_bytes(decoded->payload, 12).complete());
+}
+
+TEST(WireMessages, HaveMessage) {
+  const std::string msg = encode_have_message(0x01020304);
+  std::size_t pos = 0;
+  const auto decoded = decode_message(msg, pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, WireMessageType::Have);
+  ASSERT_EQ(decoded->payload.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(decoded->payload[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(decoded->payload[3]), 0x04);
+}
+
+TEST(WireMessages, TruncatedBufferReturnsNullopt) {
+  const std::string msg = encode_have_message(1);
+  for (std::size_t cut = 0; cut < msg.size(); ++cut) {
+    std::size_t pos = 0;
+    EXPECT_FALSE(decode_message(msg.substr(0, cut), pos).has_value()) << cut;
+  }
+}
+
+TEST(WireMessages, UnknownIdThrows) {
+  std::string msg;
+  msg.push_back(0);
+  msg.push_back(0);
+  msg.push_back(0);
+  msg.push_back(1);
+  msg.push_back(21);  // unknown id
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_message(msg, pos), std::invalid_argument);
+}
+
+TEST(WireMessages, SequentialDecode) {
+  Bitfield f(4);
+  f.set(1);
+  const std::string stream = encode_bitfield_message(f) + encode_have_message(3);
+  std::size_t pos = 0;
+  const auto first = decode_message(stream, pos);
+  const auto second = decode_message(stream, pos);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->type, WireMessageType::Bitfield);
+  EXPECT_EQ(second->type, WireMessageType::Have);
+  EXPECT_EQ(pos, stream.size());
+}
+
+TEST(WireMessages, KeepAliveDecodes) {
+  const std::string msg = encode_keepalive();
+  ASSERT_EQ(msg.size(), 4u);
+  std::size_t pos = 0;
+  const auto decoded = decode_message(msg, pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, WireMessageType::KeepAlive);
+  EXPECT_EQ(pos, 4u);
+}
+
+TEST(WireMessages, StateMessages) {
+  for (const WireMessageType type :
+       {WireMessageType::Choke, WireMessageType::Unchoke,
+        WireMessageType::Interested, WireMessageType::NotInterested}) {
+    const std::string msg = encode_state_message(type);
+    std::size_t pos = 0;
+    const auto decoded = decode_message(msg, pos);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_TRUE(decoded->payload.empty());
+  }
+  EXPECT_THROW(encode_state_message(WireMessageType::Piece),
+               std::invalid_argument);
+}
+
+TEST(WireMessages, RequestAndCancelRoundTrip) {
+  const BlockRequest request{7, 16384, 16384};
+  std::size_t pos = 0;
+  const auto req = decode_message(encode_request_message(request), pos);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->type, WireMessageType::Request);
+  EXPECT_EQ(parse_block_request(req->payload), request);
+
+  pos = 0;
+  const auto cancel = decode_message(encode_cancel_message(request), pos);
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_EQ(cancel->type, WireMessageType::Cancel);
+  EXPECT_EQ(parse_block_request(cancel->payload), request);
+}
+
+TEST(WireMessages, BlockRequestRejectsBadBody) {
+  EXPECT_THROW(parse_block_request("short"), std::invalid_argument);
+  EXPECT_THROW(parse_block_request(std::string(16, 'x')), std::invalid_argument);
+}
+
+TEST(WireMessages, PieceMessageCarriesData) {
+  std::string data = "block-bytes";
+  data.push_back('\0');
+  data += "more";
+  std::size_t pos = 0;
+  const auto decoded =
+      decode_message(encode_piece_message(3, 16384, data), pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, WireMessageType::Piece);
+  const PieceBlock block = parse_piece_block(decoded->payload);
+  EXPECT_EQ(block.piece, 3u);
+  EXPECT_EQ(block.begin, 16384u);
+  EXPECT_EQ(block.data, data);
+  EXPECT_THROW(parse_piece_block("1234567"), std::invalid_argument);
+}
+
+TEST(WireMessages, PortMessageRoundTrip) {
+  std::size_t pos = 0;
+  const auto decoded = decode_message(encode_port_message(6881), pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, WireMessageType::Port);
+  EXPECT_EQ(parse_port_message(decoded->payload), 6881);
+  EXPECT_THROW(parse_port_message("x"), std::invalid_argument);
+}
+
+TEST(WireMessages, FullDownloadConversation) {
+  // A leecher fetching one piece from a seeder, message by message:
+  // handshake exchange, bitfield, interested/unchoke, request, piece, have.
+  const Sha1Digest infohash = Sha1::hash("conversation");
+  Handshake leecher_hs;
+  leecher_hs.infohash = infohash;
+  leecher_hs.peer_id = Handshake::make_peer_id(1);
+  Handshake seeder_hs;
+  seeder_hs.infohash = infohash;
+  seeder_hs.peer_id = Handshake::make_peer_id(2);
+
+  Bitfield full(4);
+  full.set_prefix(4);
+  const BlockRequest want{0, 0, 16384};
+  const std::string block(16384, 'd');
+
+  const std::string seeder_stream = seeder_hs.encode() +
+                                    encode_bitfield_message(full) +
+                                    encode_state_message(WireMessageType::Unchoke) +
+                                    encode_piece_message(0, 0, block);
+  // Leecher side: parse the seeder's stream.
+  ASSERT_TRUE(Handshake::decode(seeder_stream.substr(0, 68)).has_value());
+  std::size_t pos = 68;
+  const auto bf = decode_message(seeder_stream, pos);
+  ASSERT_TRUE(bf && bf->type == WireMessageType::Bitfield);
+  EXPECT_TRUE(Bitfield::from_bytes(bf->payload, 4).complete());
+  const auto unchoke = decode_message(seeder_stream, pos);
+  ASSERT_TRUE(unchoke && unchoke->type == WireMessageType::Unchoke);
+  const auto piece = decode_message(seeder_stream, pos);
+  ASSERT_TRUE(piece && piece->type == WireMessageType::Piece);
+  EXPECT_EQ(parse_piece_block(piece->payload).data.size(), want.length);
+  EXPECT_EQ(pos, seeder_stream.size());
+
+  // Seeder side: parse the leecher's stream.
+  const std::string leecher_stream =
+      leecher_hs.encode() + encode_state_message(WireMessageType::Interested) +
+      encode_request_message(want) + encode_have_message(0) + encode_keepalive();
+  pos = 68;
+  const auto interested = decode_message(leecher_stream, pos);
+  ASSERT_TRUE(interested && interested->type == WireMessageType::Interested);
+  const auto request = decode_message(leecher_stream, pos);
+  ASSERT_TRUE(request && request->type == WireMessageType::Request);
+  EXPECT_EQ(parse_block_request(request->payload), want);
+  const auto have = decode_message(leecher_stream, pos);
+  ASSERT_TRUE(have && have->type == WireMessageType::Have);
+  const auto keepalive = decode_message(leecher_stream, pos);
+  ASSERT_TRUE(keepalive && keepalive->type == WireMessageType::KeepAlive);
+  EXPECT_EQ(pos, leecher_stream.size());
+}
+
+}  // namespace
+}  // namespace btpub

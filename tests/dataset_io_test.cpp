@@ -1,0 +1,149 @@
+// Dataset binary persistence round trips.
+#include "crawler/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace btpub {
+namespace {
+
+Dataset sample_dataset() {
+  Dataset d;
+  d.name = "pb10";
+  d.style = DatasetStyle::Pb10;
+  d.window_start = 0;
+  d.window_end = days(30);
+
+  TorrentRecord r;
+  r.portal_id = 7;
+  r.infohash = Sha1::hash("t7");
+  r.title = "Dark.Horizon.2010.DVDRip-divxatope.com";
+  r.category = ContentCategory::Movies;
+  r.language = Language::Spanish;
+  r.size_bytes = 734003200;
+  r.username = "mois20";
+  r.publisher_ip = IpAddress(81, 93, 5, 7);
+  r.published_at = hours(5);
+  r.first_seen = hours(5) + minutes(4);
+  r.textbox = "Visit http://www.divxatope.com/ !";
+  r.payload_filenames = {"film.avi", "Visit-www-divxatope-com.txt"};
+  r.piece_count = 2800;
+  r.observed_removed = true;
+  r.observed_removed_at = hours(30);
+  r.initial_seeders = 1;
+  r.initial_peers = 4;
+  r.query_count = 120;
+  r.max_concurrent = 55;
+  d.torrents.push_back(r);
+  d.downloaders.push_back({IpAddress(1, 2, 3, 4), IpAddress(5, 6, 7, 8)});
+  d.publisher_sightings.push_back({hours(5), hours(6), hours(9)});
+
+  TorrentRecord r2;
+  r2.portal_id = 9;
+  r2.title = "plain";
+  r2.username = "bob";
+  d.torrents.push_back(r2);
+  d.downloaders.emplace_back();
+  d.publisher_sightings.emplace_back();
+
+  UserPage page;
+  page.username = "mois20";
+  page.banned = false;
+  page.publish_times = {-days(100), hours(5)};
+  d.user_pages.emplace("mois20", page);
+  return d;
+}
+
+TEST(DatasetIo, StreamRoundTrip) {
+  const Dataset original = sample_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const Dataset loaded = load_dataset(buffer);
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.style, original.style);
+  EXPECT_EQ(loaded.window_end, original.window_end);
+  ASSERT_EQ(loaded.torrents.size(), 2u);
+
+  const TorrentRecord& a = loaded.torrents[0];
+  const TorrentRecord& b = original.torrents[0];
+  EXPECT_EQ(a.portal_id, b.portal_id);
+  EXPECT_EQ(a.infohash, b.infohash);
+  EXPECT_EQ(a.title, b.title);
+  EXPECT_EQ(a.category, b.category);
+  EXPECT_EQ(a.language, b.language);
+  EXPECT_EQ(a.size_bytes, b.size_bytes);
+  EXPECT_EQ(a.username, b.username);
+  EXPECT_EQ(a.publisher_ip, b.publisher_ip);
+  EXPECT_EQ(a.textbox, b.textbox);
+  EXPECT_EQ(a.payload_filenames, b.payload_filenames);
+  EXPECT_EQ(a.piece_count, b.piece_count);
+  EXPECT_EQ(a.observed_removed, b.observed_removed);
+  EXPECT_EQ(a.observed_removed_at, b.observed_removed_at);
+  EXPECT_EQ(a.query_count, b.query_count);
+  EXPECT_FALSE(loaded.torrents[1].publisher_ip.has_value());
+
+  EXPECT_EQ(loaded.downloaders[0], original.downloaders[0]);
+  EXPECT_EQ(loaded.publisher_sightings[0], original.publisher_sightings[0]);
+  ASSERT_TRUE(loaded.user_pages.contains("mois20"));
+  EXPECT_EQ(loaded.user_pages.at("mois20").publish_times,
+            original.user_pages.at("mois20").publish_times);
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = "/tmp/btpub_dataset_io_test.ds";
+  const Dataset original = sample_dataset();
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.torrents.size(), original.torrents.size());
+  EXPECT_EQ(loaded.distinct_ips_global(), original.distinct_ips_global());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("not a dataset at all");
+  EXPECT_THROW(load_dataset(bad), std::runtime_error);
+
+  std::stringstream buffer;
+  save_dataset(sample_dataset(), buffer);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(load_dataset(truncated), std::runtime_error);
+}
+
+TEST(DatasetIo, LoadOrGenerateCachesAndReloads) {
+  const std::string path = "/tmp/btpub_dataset_io_cache_test.ds";
+  std::remove(path.c_str());
+  int generated = 0;
+  auto generate = [&generated]() {
+    ++generated;
+    return sample_dataset();
+  };
+  const Dataset first = load_or_generate(path, generate);
+  EXPECT_EQ(generated, 1);
+  const Dataset second = load_or_generate(path, generate);
+  EXPECT_EQ(generated, 1);  // served from cache
+  EXPECT_EQ(second.torrents.size(), first.torrents.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, CorruptCacheRegenerates) {
+  const std::string path = "/tmp/btpub_dataset_io_corrupt_test.ds";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  int generated = 0;
+  const Dataset d = load_or_generate(path, [&generated]() {
+    ++generated;
+    return sample_dataset();
+  });
+  EXPECT_EQ(generated, 1);
+  EXPECT_EQ(d.torrents.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,112 @@
+// Discrete-event engine tests.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace btpub {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_in(50, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_at(10, [&] { seen = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueue, NegativeDelayClamps) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(50, [&] {
+    q.schedule_in(-20, [&] { ran = true; });
+  });
+  q.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    q.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  q.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(q.now(), 25);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, RunUntilInclusiveOfDeadline) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(25, [&] { ran = true; });
+  q.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StepOneAtATime) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1, [&] { ++count; });
+  q.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, SelfReschedulingChain) {
+  EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 5) q.schedule_in(10, tick);
+  };
+  q.schedule_at(0, tick);
+  q.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+}  // namespace
+}  // namespace btpub

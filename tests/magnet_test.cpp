@@ -1,0 +1,79 @@
+// Magnet URI (BEP 9) rendering and parsing.
+#include "torrent/magnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace btpub {
+namespace {
+
+TEST(Magnet, RoundTrip) {
+  MagnetLink link;
+  link.infohash = Sha1::hash("some torrent");
+  link.display_name = "Dark Horizon (2010) [DVDRip]";
+  link.trackers = {"http://tracker.btpub.example/announce",
+                   "udp://tracker.btpub.example:6969"};
+  const std::string uri = link.to_uri();
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->infohash, link.infohash);
+  EXPECT_EQ(parsed->display_name, link.display_name);
+  EXPECT_EQ(parsed->trackers, link.trackers);
+}
+
+TEST(Magnet, MinimalForm) {
+  MagnetLink link;
+  link.infohash = Sha1::hash("x");
+  const std::string uri = link.to_uri();
+  EXPECT_EQ(uri, "magnet:?xt=urn:btih:" + link.infohash.hex());
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->display_name.empty());
+  EXPECT_TRUE(parsed->trackers.empty());
+}
+
+TEST(Magnet, EscapesSpecialCharacters) {
+  MagnetLink link;
+  link.infohash = Sha1::hash("y");
+  link.display_name = "A & B = C?";
+  const std::string uri = link.to_uri();
+  EXPECT_EQ(uri.find("A & B"), std::string::npos);  // must be escaped
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->display_name, "A & B = C?");
+}
+
+TEST(Magnet, IgnoresUnknownParameters) {
+  const std::string uri = "magnet:?xt=urn:btih:" + Sha1::hash("z").hex() +
+                          "&xl=12345&ws=http%3A%2F%2Fmirror.example%2F";
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->infohash, Sha1::hash("z"));
+}
+
+class BadMagnet : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadMagnet, Rejected) {
+  EXPECT_FALSE(MagnetLink::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadMagnet,
+    ::testing::Values(
+        "",                                      // empty
+        "http://not-a-magnet/",                  // wrong scheme
+        "magnet:?dn=name-only",                  // no infohash
+        "magnet:?xt=urn:btih:tooshort",          // bad hash length
+        "magnet:?xt=urn:sha1:0000000000000000000000000000000000000000",  // wrong urn
+        "magnet:?xt=urn:btih:zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",  // bad hex
+        "magnet:?xt",                            // no '='
+        "magnet:?xt=urn:btih:0123456789abcdef0123456789abcdef01234567&dn=%zz"));
+
+TEST(Magnet, AllZeroHashOnlyWhenLiteral) {
+  const std::string zeros(40, '0');
+  const auto parsed = MagnetLink::parse("magnet:?xt=urn:btih:" + zeros);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->infohash, Sha1Digest{});
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,146 @@
+// Private tracker: registration, passkey auth, seeding-ratio enforcement
+// and the VIP bypass (the §5.1 business model).
+#include "tracker/private_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace btpub {
+namespace {
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+class PrivateTrackerTest : public ::testing::Test {
+ protected:
+  PrivateTrackerTest() : tracker_(make_config(), Rng(3)) {
+    swarm_ = Swarm(Sha1::hash("private swarm"), 32, 0);
+    for (std::uint32_t i = 1; i <= 30; ++i) {
+      PeerSession s;
+      s.endpoint = Endpoint{IpAddress(0x0A000000 + i), 6881};
+      s.arrive = 0;
+      s.depart = days(30);
+      if (i == 1) s.complete_at = 0;
+      swarm_.add_session(s);
+    }
+    swarm_.finalize();
+    tracker_.tracker().host_swarm(swarm_);
+  }
+
+  static PrivateTrackerConfig make_config() {
+    PrivateTrackerConfig config;
+    config.min_ratio = 0.5;
+    config.grace_bytes = static_cast<std::int64_t>(1 * kGiB);
+    return config;
+  }
+
+  PrivateAnnounce announce_for(const std::string& passkey, SimTime now,
+                               std::uint64_t up, std::uint64_t down,
+                               std::uint32_t client_tag = 1) {
+    PrivateAnnounce a;
+    a.passkey = passkey;
+    a.request.infohash = swarm_.infohash();
+    a.request.client = Endpoint{IpAddress(0x0B000000 + client_tag), 6881};
+    a.request.numwant = 50;
+    a.request.now = now;
+    a.uploaded_delta = up;
+    a.downloaded_delta = down;
+    return a;
+  }
+
+  PrivateTracker tracker_;
+  Swarm swarm_;
+};
+
+TEST_F(PrivateTrackerTest, RegistrationIssuesUniquePasskeys) {
+  const auto key1 = tracker_.register_user("alice");
+  const auto key2 = tracker_.register_user("bob");
+  ASSERT_TRUE(key1 && key2);
+  EXPECT_EQ(key1->size(), 32u);
+  EXPECT_NE(*key1, *key2);
+  EXPECT_EQ(tracker_.account_count(), 2u);
+  EXPECT_FALSE(tracker_.register_user("alice").has_value());  // duplicate
+  EXPECT_FALSE(tracker_.register_user("").has_value());
+}
+
+TEST_F(PrivateTrackerTest, AuthenticatedAnnounceWorks) {
+  const auto key = tracker_.register_user("alice");
+  const AnnounceReply reply =
+      tracker_.announce(announce_for(*key, 100, 0, 10 * kMiB));
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.complete, 1u);
+  EXPECT_FALSE(reply.peers.empty());
+}
+
+TEST_F(PrivateTrackerTest, UnknownPasskeyRejected) {
+  const AnnounceReply reply =
+      tracker_.announce(announce_for("deadbeef", 100, 0, 0));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.failure_reason, "unregistered passkey");
+  EXPECT_EQ(tracker_.stats().denied_auth, 1u);
+}
+
+TEST_F(PrivateTrackerTest, GraceAllowanceForNewcomers) {
+  const auto key = tracker_.register_user("leech");
+  // Half a GiB downloaded, nothing uploaded: still under the grace budget.
+  EXPECT_TRUE(tracker_.announce(announce_for(*key, 100, 0, 512 * kMiB)).ok);
+  EXPECT_EQ(tracker_.stats().denied_ratio, 0u);
+}
+
+TEST_F(PrivateTrackerTest, RatioEnforcedPastGrace) {
+  const auto key = tracker_.register_user("leech");
+  ASSERT_TRUE(tracker_.announce(announce_for(*key, 100, 0, 900 * kMiB)).ok);
+  // Crosses the grace budget with ratio 0: denied.
+  const AnnounceReply denied = tracker_.announce(
+      announce_for(*key, 100 + minutes(16), 0, 900 * kMiB));
+  EXPECT_FALSE(denied.ok);
+  EXPECT_EQ(denied.failure_reason, "share ratio too low");
+  EXPECT_EQ(tracker_.stats().denied_ratio, 1u);
+  EXPECT_LT(*tracker_.ratio("leech"), 0.5);
+}
+
+TEST_F(PrivateTrackerTest, SeedingRestoresService) {
+  const auto key = tracker_.register_user("redeemer");
+  // First hit is already past the grace budget at ratio 0: denied.
+  ASSERT_FALSE(tracker_.announce(announce_for(*key, 100, 0, 2 * kGiB)).ok);
+  // Upload enough to push the ratio back above the threshold.
+  const AnnounceReply redeemed = tracker_.announce(
+      announce_for(*key, 100 + minutes(16), 2 * kGiB, 0));
+  EXPECT_TRUE(redeemed.ok);
+  EXPECT_GE(*tracker_.ratio("redeemer"), 0.5);
+}
+
+TEST_F(PrivateTrackerTest, VipBypassesRatio) {
+  const auto key = tracker_.register_user("whale");
+  ASSERT_TRUE(tracker_.grant_vip("whale"));
+  EXPECT_EQ(tracker_.is_vip("whale"), true);
+  // Terrible ratio, but VIP: service continues (and is counted).
+  const AnnounceReply reply =
+      tracker_.announce(announce_for(*key, 100, 0, 5 * kGiB));
+  EXPECT_TRUE(reply.ok);
+  EXPECT_GE(tracker_.stats().vip_bypasses, 1u);
+  EXPECT_EQ(tracker_.stats().denied_ratio, 0u);
+}
+
+TEST_F(PrivateTrackerTest, VipForUnknownUserFails) {
+  EXPECT_FALSE(tracker_.grant_vip("ghost"));
+  EXPECT_FALSE(tracker_.ratio("ghost").has_value());
+  EXPECT_FALSE(tracker_.is_vip("ghost").has_value());
+}
+
+TEST_F(PrivateTrackerTest, FreshAccountHasInfiniteRatio) {
+  tracker_.register_user("pristine");
+  EXPECT_TRUE(std::isinf(*tracker_.ratio("pristine")));
+}
+
+TEST_F(PrivateTrackerTest, UnderlyingRateLimitStillApplies) {
+  const auto key = tracker_.register_user("alice");
+  ASSERT_TRUE(tracker_.announce(announce_for(*key, 100, 0, 0)).ok);
+  const AnnounceReply reply = tracker_.announce(announce_for(*key, 130, 0, 0));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.failure_reason, "slow down");
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,101 @@
+// SHA-1 against the RFC 3174 / FIPS 180 test vectors, plus streaming and
+// digest value-type behaviour.
+#include "crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace btpub {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::hash("").hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hash("abc").hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(ctx.finish().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64-byte message exercises the padding-into-second-block path.
+  const std::string msg(64, 'x');
+  Sha1 ctx;
+  ctx.update(msg);
+  EXPECT_EQ(ctx.finish(), Sha1::hash(msg));
+}
+
+TEST(Sha1, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: length fits after 0x80 in the same block; 56: it does not.
+  for (std::size_t n : {55u, 56u, 63u, 65u}) {
+    const std::string msg(n, 'q');
+    EXPECT_EQ(Sha1::hash(msg).hex().size(), 40u);
+    EXPECT_EQ(Sha1::hash(msg), Sha1::hash(msg));
+  }
+}
+
+class Sha1Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha1Chunking, StreamingMatchesOneShot) {
+  std::string message;
+  for (int i = 0; i < 997; ++i) message.push_back(static_cast<char>(i * 31 + 7));
+  const Sha1Digest expected = Sha1::hash(message);
+  Sha1 ctx;
+  const std::size_t chunk = GetParam();
+  for (std::size_t pos = 0; pos < message.size(); pos += chunk) {
+    ctx.update(std::string_view(message).substr(pos, chunk));
+  }
+  EXPECT_EQ(ctx.finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha1Chunking,
+                         ::testing::Values(1u, 3u, 19u, 64u, 65u, 128u, 997u));
+
+TEST(Sha1Digest, HexRoundTrip) {
+  const Sha1Digest d = Sha1::hash("round trip");
+  EXPECT_EQ(Sha1Digest::from_hex(d.hex()), d);
+}
+
+TEST(Sha1Digest, FromHexRejectsMalformed) {
+  EXPECT_EQ(Sha1Digest::from_hex("zz"), Sha1Digest{});
+  EXPECT_EQ(Sha1Digest::from_hex(std::string(40, 'g')), Sha1Digest{});
+  // Right length, bad chars -> all-zero digest.
+  std::string bad(40, '0');
+  bad[7] = '!';
+  EXPECT_EQ(Sha1Digest::from_hex(bad), Sha1Digest{});
+}
+
+TEST(Sha1Digest, Hashable) {
+  std::unordered_set<Sha1Digest> set;
+  for (int i = 0; i < 100; ++i) set.insert(Sha1::hash(std::to_string(i)));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Sha1Digest, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::hash("a"), Sha1::hash("b"));
+  EXPECT_NE(Sha1::hash("abc"), Sha1::hash("abc "));
+}
+
+TEST(Sha1, BinaryInputWithNulBytes) {
+  std::string msg = "ab";
+  msg.push_back('\0');
+  msg += "cd";
+  EXPECT_EQ(Sha1::hash(msg).hex().size(), 40u);
+  EXPECT_NE(Sha1::hash(msg), Sha1::hash("abcd"));
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,185 @@
+// Tests for descriptive statistics used by the analysis pipeline.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace btpub {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleValue) {
+  const std::vector<double> v{7.0};
+  EXPECT_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_EQ(percentile(v, 50.0), 7.0);
+  EXPECT_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 3.0);
+}
+
+TEST(MeanStddev, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);
+}
+
+TEST(MeanStddev, DegenerateInputs) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const BoxStats b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.p25, 26.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.p75, 76.0);
+  EXPECT_DOUBLE_EQ(b.max, 101.0);
+  EXPECT_EQ(b.count, 101u);
+}
+
+TEST(BoxStats, Empty) {
+  const BoxStats b = box_stats({});
+  EXPECT_EQ(b.count, 0u);
+  EXPECT_EQ(b.median, 0.0);
+}
+
+TEST(SummaryRow, MinMedianAvgMax) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+  const SummaryRow s = summary_row(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.avg, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Gini, PerfectEquality) {
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_NEAR(gini(v), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximalSkew) {
+  // One holder of everything among n: G = (n-1)/n.
+  const std::vector<double> v{0.0, 0.0, 0.0, 100.0};
+  EXPECT_NEAR(gini(v), 0.75, 1e-12);
+}
+
+TEST(Gini, KnownIntermediate) {
+  const std::vector<double> v{1.0, 3.0};
+  // G = (2*(1*1+2*3)/(2*4)) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(gini(v), 0.25, 1e-12);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_EQ(gini({}), 0.0);
+  const std::vector<double> one{4.0};
+  EXPECT_EQ(gini(one), 0.0);
+}
+
+TEST(TopShareCurve, BasicShape) {
+  // 10 publishers: one with 91 files, nine with 1 file.
+  std::vector<double> contributions{91, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<double> xs{10.0, 100.0};
+  const auto curve = top_share_curve(contributions, xs);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].top_percent, 10.0);
+  EXPECT_DOUBLE_EQ(curve[0].content_percent, 91.0);
+  EXPECT_DOUBLE_EQ(curve[1].content_percent, 100.0);
+}
+
+TEST(TopShareCurve, MonotoneNonDecreasing) {
+  std::vector<double> contributions;
+  for (int i = 0; i < 200; ++i) contributions.push_back(i % 17 + 1.0);
+  const std::vector<double> xs{1, 3, 10, 20, 40, 60, 80, 100};
+  const auto curve = top_share_curve(contributions, xs);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].content_percent, curve[i - 1].content_percent);
+  }
+  EXPECT_NEAR(curve.back().content_percent, 100.0, 1e-9);
+}
+
+TEST(TopShareCurve, EmptyPopulation) {
+  const std::vector<double> xs{50.0};
+  const auto curve = top_share_curve({}, xs);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].content_percent, 0.0);
+}
+
+TEST(TopKShare, Basics) {
+  const std::vector<double> v{10, 30, 60};
+  EXPECT_DOUBLE_EQ(top_k_share(v, 1), 0.6);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 2), 0.9);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 3), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 99), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_share({}, 5), 0.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamped to 0
+  h.add(42.0);  // clamped to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(7), 0.0);  // out of range index
+}
+
+TEST(Rendering, ToStringContainsFields) {
+  BoxStats b;
+  b.min = 1;
+  b.median = 3;
+  b.max = 9;
+  b.count = 5;
+  const std::string s = to_string(b);
+  EXPECT_NE(s.find("med=3"), std::string::npos);
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, WithinDataRange) {
+  std::vector<double> v;
+  for (int i = 0; i < 57; ++i) v.push_back(i * 3.0 - 20.0);
+  const double p = percentile(v, GetParam());
+  EXPECT_GE(p, -20.0);
+  EXPECT_LE(p, 56 * 3.0 - 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 100.0));
+
+}  // namespace
+}  // namespace btpub

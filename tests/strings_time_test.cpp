@@ -1,0 +1,107 @@
+// Tests for string helpers and simulated-time utilities.
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace btpub {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "/"), "x/y/z");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"solo"}, "/"), "solo");
+}
+
+TEST(Case, ToLowerAndContains) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(contains_icase("The DARK Horizon", "dark"));
+  EXPECT_TRUE(contains_icase("abc", ""));
+  EXPECT_FALSE(contains_icase("abc", "xyz"));
+}
+
+TEST(Affixes, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("divxatope.com", "divx"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_TRUE(ends_with("file-site.com", ".com"));
+  EXPECT_FALSE(ends_with(".com", "site.com"));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Humanize, Magnitudes) {
+  EXPECT_EQ(humanize(950.0), "950");
+  EXPECT_EQ(humanize(33000.0), "33K");
+  EXPECT_EQ(humanize(2800000.0), "2.8M");
+  EXPECT_EQ(humanize(1.4e9), "1.4B");
+}
+
+TEST(Percent, Rendering) {
+  EXPECT_EQ(percent(0.301), "30.1%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(SimTimeUnits, Conversions) {
+  EXPECT_EQ(minutes(2.0), 120);
+  EXPECT_EQ(hours(1.5), 5400);
+  EXPECT_EQ(days(2.0), 172800);
+  EXPECT_DOUBLE_EQ(to_minutes(90), 1.5);
+  EXPECT_DOUBLE_EQ(to_hours(5400), 1.5);
+  EXPECT_DOUBLE_EQ(to_days(86400), 1.0);
+}
+
+TEST(FormatDuration, Rendering) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(hours(1) + minutes(2) + 3), "01:02:03");
+  EXPECT_EQ(format_duration(days(3) + hours(4) + minutes(5) + 9),
+            "3d 04:05:09");
+  EXPECT_EQ(format_duration(-hours(2)), "-02:00:00");
+}
+
+TEST(IntervalOps, ContainsAndOverlaps) {
+  const Interval a{10, 20};
+  EXPECT_EQ(a.length(), 10);
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_TRUE(a.contains(19));
+  EXPECT_FALSE(a.contains(20));  // half-open
+  EXPECT_FALSE(a.contains(9));
+  const Interval b{19, 25};
+  const Interval c{20, 25};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));  // touching is not overlapping
+  EXPECT_TRUE(b.overlaps(a));
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,78 @@
+// Tests for the ASCII table renderer.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace btpub {
+namespace {
+
+TEST(AsciiTable, RendersTitleHeaderAndRows) {
+  AsciiTable t("Demo");
+  t.header({"ISP", "Share"});
+  t.row({"OVH", "15.2%"});
+  t.row({"Comcast", "2.9%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| ISP"), std::string::npos);
+  EXPECT_NE(out.find("| OVH"), std::string::npos);
+  EXPECT_NE(out.find("| Comcast"), std::string::npos);
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t("Align");
+  t.header({"A", "B"});
+  t.row({"xx", "y"});
+  t.row({"x", "yyyy"});
+  const std::string out = t.render();
+  // Every data line must have the same length (uniform column widths).
+  std::size_t expected = 0;
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::string line = out.substr(pos, nl - pos);
+    if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+      ++lines;
+    }
+    pos = nl + 1;
+  }
+  EXPECT_GE(lines, 4);
+}
+
+TEST(AsciiTable, RowsWiderThanHeaderExtendWidths) {
+  AsciiTable t("Wide");
+  t.header({"C"});
+  t.row({"1", "2", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 | 2 | 3 |"), std::string::npos);
+}
+
+TEST(AsciiTable, SeparatorAndNotes) {
+  AsciiTable t("Notes");
+  t.header({"k", "v"});
+  t.row({"a", "1"});
+  t.separator();
+  t.row({"b", "2"});
+  t.note("paper: 30% / ours: 29%");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("paper: 30% / ours: 29%"), std::string::npos);
+  // Separator adds an extra rule line: count '+' line starts.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("\n+", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 3);
+}
+
+TEST(AsciiTable, EmptyTableStillRendersTitle) {
+  AsciiTable t("Empty");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Empty =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,218 @@
+// BEP 15 UDP tracker protocol: packet formats and the endpoint state
+// machine (connect handshake, connection-id expiry, announce, errors).
+#include <gtest/gtest.h>
+
+#include "torrent/wire.hpp"
+#include "tracker/udp.hpp"
+#include "tracker/udp_server.hpp"
+
+namespace btpub {
+namespace {
+
+TEST(UdpPackets, ConnectRequestRoundTrip) {
+  UdpConnectRequest req;
+  req.transaction_id = 0xDEADBEEF;
+  const std::string wire = req.encode();
+  ASSERT_EQ(wire.size(), 16u);
+  // Magic constant in the first 8 bytes, big-endian.
+  EXPECT_EQ(static_cast<unsigned char>(wire[0]), 0x00);
+  EXPECT_EQ(static_cast<unsigned char>(wire[2]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(wire[3]), 0x17);
+  const auto decoded = UdpConnectRequest::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->transaction_id, 0xDEADBEEF);
+}
+
+TEST(UdpPackets, ConnectRequestRejectsBadMagicOrSize) {
+  UdpConnectRequest req;
+  std::string wire = req.encode();
+  wire[0] = 0x7f;
+  EXPECT_FALSE(UdpConnectRequest::decode(wire).has_value());
+  EXPECT_FALSE(UdpConnectRequest::decode("short").has_value());
+}
+
+TEST(UdpPackets, ConnectResponseRoundTrip) {
+  UdpConnectResponse res;
+  res.transaction_id = 42;
+  res.connection_id = 0x0123456789ABCDEFull;
+  const auto decoded = UdpConnectResponse::decode(res.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->transaction_id, 42u);
+  EXPECT_EQ(decoded->connection_id, 0x0123456789ABCDEFull);
+}
+
+TEST(UdpPackets, AnnounceRequestRoundTrip) {
+  UdpAnnounceRequest req;
+  req.connection_id = 99;
+  req.transaction_id = 7;
+  req.infohash = Sha1::hash("udp torrent");
+  req.peer_id = Handshake::make_peer_id(5);
+  req.downloaded = 1000;
+  req.left = 2000;
+  req.uploaded = 3000;
+  req.event = 2;
+  req.ip = IpAddress(1, 2, 3, 4).value();
+  req.key = 0xCAFE;
+  req.num_want = 50;
+  req.port = 6881;
+  const std::string wire = req.encode();
+  ASSERT_EQ(wire.size(), 98u);
+  const auto decoded = UdpAnnounceRequest::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->connection_id, 99u);
+  EXPECT_EQ(decoded->infohash, req.infohash);
+  EXPECT_EQ(decoded->peer_id, req.peer_id);
+  EXPECT_EQ(decoded->left, 2000u);
+  EXPECT_EQ(decoded->event, 2u);
+  EXPECT_EQ(decoded->num_want, 50u);
+  EXPECT_EQ(decoded->port, 6881);
+}
+
+TEST(UdpPackets, AnnounceResponseRoundTrip) {
+  UdpAnnounceResponse res;
+  res.transaction_id = 11;
+  res.interval = 900;
+  res.leechers = 12;
+  res.seeders = 3;
+  res.peers = {{IpAddress(10, 0, 0, 1), 6881}, {IpAddress(10, 0, 0, 2), 51413}};
+  const auto decoded = UdpAnnounceResponse::decode(res.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->interval, 900u);
+  EXPECT_EQ(decoded->peers, res.peers);
+}
+
+TEST(UdpPackets, AnnounceResponseRejectsRaggedPeerList) {
+  UdpAnnounceResponse res;
+  res.peers = {{IpAddress(10, 0, 0, 1), 6881}};
+  std::string wire = res.encode();
+  wire.pop_back();
+  EXPECT_FALSE(UdpAnnounceResponse::decode(wire).has_value());
+}
+
+TEST(UdpPackets, ErrorRoundTripAndActionPeek) {
+  UdpErrorResponse err;
+  err.transaction_id = 3;
+  err.message = "slow down";
+  const std::string wire = err.encode();
+  EXPECT_EQ(udp_response_action(wire), UdpAction::Error);
+  const auto decoded = UdpErrorResponse::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->message, "slow down");
+  EXPECT_FALSE(udp_response_action("ab").has_value());
+}
+
+// ---- endpoint state machine ----
+
+class UdpEndpointTest : public ::testing::Test {
+ protected:
+  UdpEndpointTest()
+      : tracker_(TrackerConfig{}, Rng(4)), endpoint_(tracker_, Rng(5)) {
+    swarm_ = Swarm(Sha1::hash("udp swarm"), 32, 0);
+    for (std::uint32_t i = 1; i <= 40; ++i) {
+      PeerSession s;
+      s.endpoint = Endpoint{IpAddress(0x0A000000 + i), 6881};
+      s.arrive = 0;
+      s.depart = days(10);
+      if (i == 1) s.complete_at = 0;
+      swarm_.add_session(s);
+    }
+    swarm_.finalize();
+    tracker_.host_swarm(swarm_);
+  }
+
+  std::uint64_t connect(const Endpoint& from, SimTime now) {
+    UdpConnectRequest req;
+    req.transaction_id = 1;
+    const std::string response = endpoint_.handle(req.encode(), from, now);
+    const auto decoded = UdpConnectResponse::decode(response);
+    EXPECT_TRUE(decoded.has_value());
+    return decoded ? decoded->connection_id : 0;
+  }
+
+  std::string announce(std::uint64_t connection_id, const Endpoint& from,
+                       SimTime now, std::uint32_t num_want = 25) {
+    UdpAnnounceRequest req;
+    req.connection_id = connection_id;
+    req.transaction_id = 2;
+    req.infohash = swarm_.infohash();
+    req.port = from.port;
+    req.num_want = num_want;
+    return endpoint_.handle(req.encode(), from, now);
+  }
+
+  Tracker tracker_;
+  UdpTrackerEndpoint endpoint_;
+  Swarm swarm_;
+};
+
+TEST_F(UdpEndpointTest, ConnectThenAnnounce) {
+  const Endpoint client{IpAddress(9, 9, 9, 9), 7000};
+  const std::uint64_t id = connect(client, 100);
+  const std::string response = announce(id, client, 150);
+  const auto decoded = UdpAnnounceResponse::decode(response);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seeders, 1u);
+  EXPECT_EQ(decoded->leechers, 39u);
+  EXPECT_EQ(decoded->peers.size(), 25u);
+  EXPECT_EQ(decoded->transaction_id, 2u);
+}
+
+TEST_F(UdpEndpointTest, AnnounceWithoutConnectFails) {
+  const Endpoint client{IpAddress(9, 9, 9, 9), 7000};
+  const std::string response = announce(0xBADBAD, client, 100);
+  const auto err = UdpErrorResponse::decode(response);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "invalid connection id");
+}
+
+TEST_F(UdpEndpointTest, ConnectionIdExpires) {
+  const Endpoint client{IpAddress(9, 9, 9, 9), 7000};
+  const std::uint64_t id = connect(client, 100);
+  const SimTime later = 100 + UdpTrackerEndpoint::kConnectionTtl + 1;
+  const auto err = UdpErrorResponse::decode(announce(id, client, later));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "invalid connection id");
+}
+
+TEST_F(UdpEndpointTest, ConnectionIdBoundToSenderAddress) {
+  const Endpoint alice{IpAddress(9, 9, 9, 9), 7000};
+  const Endpoint mallory{IpAddress(6, 6, 6, 6), 7000};
+  const std::uint64_t id = connect(alice, 100);
+  const auto err = UdpErrorResponse::decode(announce(id, mallory, 120));
+  ASSERT_TRUE(err.has_value());  // spoofed announce rejected
+}
+
+TEST_F(UdpEndpointTest, DefaultNumWantUsesTrackerCap) {
+  const Endpoint client{IpAddress(9, 9, 9, 8), 7000};
+  const std::uint64_t id = connect(client, 100);
+  const auto decoded =
+      UdpAnnounceResponse::decode(announce(id, client, 150, ~0u));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->peers.size(), 40u);  // whole (small) swarm
+}
+
+TEST_F(UdpEndpointTest, TrackerFailuresSurfaceAsErrors) {
+  const Endpoint client{IpAddress(9, 9, 9, 7), 7000};
+  const std::uint64_t id = connect(client, 100);
+  UdpAnnounceRequest req;
+  req.connection_id = id;
+  req.transaction_id = 5;
+  req.infohash = Sha1::hash("not hosted");
+  req.port = client.port;
+  const auto err =
+      UdpErrorResponse::decode(endpoint_.handle(req.encode(), client, 150));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "unregistered torrent");
+  EXPECT_EQ(err->transaction_id, 5u);
+}
+
+TEST_F(UdpEndpointTest, MalformedDatagramGetsError) {
+  const Endpoint client{IpAddress(9, 9, 9, 6), 7000};
+  const auto err =
+      UdpErrorResponse::decode(endpoint_.handle("junk", client, 100));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "malformed datagram");
+}
+
+}  // namespace
+}  // namespace btpub

@@ -1,0 +1,223 @@
+// btpub — command-line front end for the toolkit.
+//
+//   btpub simulate --scenario pb10 --seed 42 --out pb10.ds
+//       build the ecosystem, run the measurement crawl, save the dataset
+//   btpub analyze pb10.ds
+//       identity analysis summary: skew, fake/top shares, top publishers
+//   btpub export pb10.ds out_dir/
+//       dump torrents/publishers/sightings as CSV
+//   btpub feed --scenario quick --seed 7
+//       print the portal's RSS 2.0 XML after a simulated day
+//
+// Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/contribution.hpp"
+#include "analysis/groups.hpp"
+#include "core/ecosystem.hpp"
+#include "crawler/dataset_io.hpp"
+#include "portal/rss.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace btpub;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  btpub simulate --scenario <pb10|pb09|mn08|signature|quick>"
+               " [--seed N] --out FILE\n"
+               "  btpub analyze FILE [--top N]\n"
+               "  btpub export FILE OUT_DIR\n"
+               "  btpub feed [--scenario NAME] [--seed N]\n");
+  return 1;
+}
+
+ScenarioConfig scenario_by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "pb10") return ScenarioConfig::pb10(seed);
+  if (name == "pb09") return ScenarioConfig::pb09(seed);
+  if (name == "mn08") return ScenarioConfig::mn08(seed);
+  if (name == "signature") return ScenarioConfig::signature(seed);
+  if (name == "quick") return ScenarioConfig::quick(seed);
+  throw std::invalid_argument("unknown scenario '" + name + "'");
+}
+
+struct Options {
+  std::string scenario = "quick";
+  std::uint64_t seed = 42;
+  std::string out;
+  std::size_t top_n = 100;
+  std::vector<std::string> positional;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      options.scenario = next();
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--out") {
+      options.out = next();
+    } else if (arg == "--top") {
+      options.top_n = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (starts_with(arg, "--")) {
+      throw std::invalid_argument("unknown option " + arg);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+int cmd_simulate(const Options& options) {
+  if (options.out.empty()) {
+    std::fprintf(stderr, "simulate: --out FILE is required\n");
+    return 1;
+  }
+  const ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  std::fprintf(stderr, "building %s (seed %llu)...\n", config.name.c_str(),
+               static_cast<unsigned long long>(config.seed));
+  Ecosystem ecosystem(config);
+  ecosystem.build();
+  std::fprintf(stderr, "crawling %zu torrents...\n", ecosystem.torrent_count());
+  const Dataset dataset = ecosystem.crawl();
+  save_dataset(dataset, options.out);
+  std::printf("wrote %s: %zu torrents, %zu distinct downloader IPs\n",
+              options.out.c_str(), dataset.torrent_count(),
+              dataset.distinct_ips_global());
+  return 0;
+}
+
+int cmd_analyze(const Options& options) {
+  if (options.positional.empty()) {
+    std::fprintf(stderr, "analyze: dataset file required\n");
+    return 1;
+  }
+  const Dataset dataset = load_dataset(options.positional[0]);
+  const IspCatalog catalog = IspCatalog::standard();
+  const IdentityAnalysis identity(dataset, catalog.db(), options.top_n);
+
+  AsciiTable summary("Dataset " + dataset.name);
+  summary.header({"metric", "value"});
+  summary.row({"torrents", std::to_string(dataset.torrent_count())});
+  summary.row({"with username", std::to_string(dataset.with_username())});
+  summary.row({"with publisher IP", std::to_string(dataset.with_publisher_ip())});
+  summary.row({"distinct downloader IPs",
+               std::to_string(dataset.distinct_ips_global())});
+  summary.row({"publishers (usernames)",
+               std::to_string(identity.usernames().size())});
+  summary.row({"fake usernames", std::to_string(identity.fake_usernames().size())});
+  summary.row({"top publishers", std::to_string(identity.top().size())});
+  summary.print();
+
+  const auto fake = identity.share_of(TargetGroup::Fake);
+  const auto top = identity.share_of(TargetGroup::Top);
+  AsciiTable shares("Group shares");
+  shares.header({"group", "content", "downloads"});
+  shares.row({"Fake", percent(fake.content), percent(fake.downloads)});
+  shares.row({"Top", percent(top.content), percent(top.downloads)});
+  shares.row({"Fake+Top", percent(fake.content + top.content),
+              percent(fake.downloads + top.downloads)});
+  shares.print();
+
+  const std::vector<double> xs{1, 3, 10, 50};
+  const auto curve = contribution_curve(identity, xs);
+  AsciiTable skew("Contribution skew (gini " + format_double(curve.gini, 2) + ")");
+  skew.header({"top x%", "content share"});
+  for (const LorenzPoint& p : curve.points) {
+    skew.row({format_double(p.top_percent, 0) + "%",
+              format_double(p.content_percent, 1) + "%"});
+  }
+  skew.print();
+  return 0;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+int cmd_export(const Options& options) {
+  if (options.positional.size() < 2) {
+    std::fprintf(stderr, "export: dataset file and output directory required\n");
+    return 1;
+  }
+  const Dataset dataset = load_dataset(options.positional[0]);
+  const std::string out_dir = options.positional[1];
+  std::filesystem::create_directories(out_dir);
+
+  std::ofstream torrents(out_dir + "/torrents.csv");
+  torrents << "portal_id,infohash,title,category,username,publisher_ip,"
+              "published_at,downloads,removed\n";
+  for (std::size_t i = 0; i < dataset.torrent_count(); ++i) {
+    const TorrentRecord& r = dataset.torrents[i];
+    torrents << r.portal_id << ',' << r.infohash.hex() << ','
+             << csv_escape(r.title) << ',' << to_string(r.category) << ','
+             << csv_escape(r.username) << ','
+             << (r.publisher_ip ? r.publisher_ip->to_string() : "") << ','
+             << r.published_at << ',' << dataset.downloaders[i].size() << ','
+             << (r.observed_removed ? 1 : 0) << '\n';
+  }
+  std::ofstream sightings(out_dir + "/sightings.csv");
+  sightings << "portal_id,time_seconds\n";
+  for (std::size_t i = 0; i < dataset.torrent_count(); ++i) {
+    for (const SimTime t : dataset.publisher_sightings[i]) {
+      sightings << dataset.torrents[i].portal_id << ',' << t << '\n';
+    }
+  }
+  std::printf("exported %zu torrents to %s/\n", dataset.torrent_count(),
+              out_dir.c_str());
+  return 0;
+}
+
+int cmd_feed(const Options& options) {
+  ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  config.window = days(1);
+  Ecosystem ecosystem(config);
+  ecosystem.build();
+  const auto items =
+      ecosystem.portal().rss_since(kInvalidTorrent, config.window, 30);
+  std::fputs(render_rss(ecosystem.portal().name(), items).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Options options = parse_options(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(options);
+    if (command == "analyze") return cmd_analyze(options);
+    if (command == "export") return cmd_export(options);
+    if (command == "feed") return cmd_feed(options);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "btpub: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "btpub: error: %s\n", e.what());
+    return 2;
+  }
+}
