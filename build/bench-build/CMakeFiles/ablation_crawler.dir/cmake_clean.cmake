@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crawler"
+  "../bench/ablation_crawler.pdb"
+  "CMakeFiles/ablation_crawler.dir/ablation_crawler.cpp.o"
+  "CMakeFiles/ablation_crawler.dir/ablation_crawler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

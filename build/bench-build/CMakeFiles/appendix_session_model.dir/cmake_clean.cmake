@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appendix_session_model"
+  "../bench/appendix_session_model.pdb"
+  "CMakeFiles/appendix_session_model.dir/appendix_session_model.cpp.o"
+  "CMakeFiles/appendix_session_model.dir/appendix_session_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_session_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_bench_common.dir/common.cpp.o"
+  "CMakeFiles/btpub_bench_common.dir/common.cpp.o.d"
+  "libbtpub_bench_common.a"
+  "libbtpub_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

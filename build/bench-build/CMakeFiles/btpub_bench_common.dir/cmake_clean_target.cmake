@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbtpub_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_demographics"
+  "../bench/extension_demographics.pdb"
+  "CMakeFiles/extension_demographics.dir/extension_demographics.cpp.o"
+  "CMakeFiles/extension_demographics.dir/extension_demographics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_contribution"
+  "../bench/fig1_contribution.pdb"
+  "CMakeFiles/fig1_contribution.dir/fig1_contribution.cpp.o"
+  "CMakeFiles/fig1_contribution.dir/fig1_contribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

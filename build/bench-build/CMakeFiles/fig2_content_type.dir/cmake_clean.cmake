@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_content_type"
+  "../bench/fig2_content_type.pdb"
+  "CMakeFiles/fig2_content_type.dir/fig2_content_type.cpp.o"
+  "CMakeFiles/fig2_content_type.dir/fig2_content_type.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_content_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

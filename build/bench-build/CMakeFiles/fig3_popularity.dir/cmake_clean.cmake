@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_popularity"
+  "../bench/fig3_popularity.pdb"
+  "CMakeFiles/fig3_popularity.dir/fig3_popularity.cpp.o"
+  "CMakeFiles/fig3_popularity.dir/fig3_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_seeding"
+  "../bench/fig4_seeding.pdb"
+  "CMakeFiles/fig4_seeding.dir/fig4_seeding.cpp.o"
+  "CMakeFiles/fig4_seeding.dir/fig4_seeding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_isps"
+  "../bench/table2_isps.pdb"
+  "CMakeFiles/table2_isps.dir/table2_isps.cpp.o"
+  "CMakeFiles/table2_isps.dir/table2_isps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_isps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_ovh_comcast"
+  "../bench/table3_ovh_comcast.pdb"
+  "CMakeFiles/table3_ovh_comcast.dir/table3_ovh_comcast.cpp.o"
+  "CMakeFiles/table3_ovh_comcast.dir/table3_ovh_comcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ovh_comcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

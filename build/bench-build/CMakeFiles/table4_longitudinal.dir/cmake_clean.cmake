@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_longitudinal"
+  "../bench/table4_longitudinal.pdb"
+  "CMakeFiles/table4_longitudinal.dir/table4_longitudinal.cpp.o"
+  "CMakeFiles/table4_longitudinal.dir/table4_longitudinal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_income"
+  "../bench/table5_income.pdb"
+  "CMakeFiles/table5_income.dir/table5_income.cpp.o"
+  "CMakeFiles/table5_income.dir/table5_income.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_income.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

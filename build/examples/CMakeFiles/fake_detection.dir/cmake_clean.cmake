@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_detection.dir/fake_detection.cpp.o"
+  "CMakeFiles/fake_detection.dir/fake_detection.cpp.o.d"
+  "fake_detection"
+  "fake_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

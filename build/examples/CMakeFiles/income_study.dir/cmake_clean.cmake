@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/income_study.dir/income_study.cpp.o"
+  "CMakeFiles/income_study.dir/income_study.cpp.o.d"
+  "income_study"
+  "income_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/income_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

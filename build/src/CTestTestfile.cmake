@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("bencode")
+subdirs("net")
+subdirs("geo")
+subdirs("torrent")
+subdirs("sim")
+subdirs("portal")
+subdirs("tracker")
+subdirs("swarm")
+subdirs("websim")
+subdirs("publisher")
+subdirs("crawler")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/content_type.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/content_type.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/content_type.cpp.o.d"
+  "/root/repo/src/analysis/contribution.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/contribution.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/contribution.cpp.o.d"
+  "/root/repo/src/analysis/demographics.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/demographics.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/demographics.cpp.o.d"
+  "/root/repo/src/analysis/groups.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/groups.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/groups.cpp.o.d"
+  "/root/repo/src/analysis/income.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/income.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/income.cpp.o.d"
+  "/root/repo/src/analysis/isp.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/isp.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/isp.cpp.o.d"
+  "/root/repo/src/analysis/longitudinal.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/longitudinal.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/analysis/popularity.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/popularity.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/popularity.cpp.o.d"
+  "/root/repo/src/analysis/session.cpp" "src/analysis/CMakeFiles/btpub_analysis.dir/session.cpp.o" "gcc" "src/analysis/CMakeFiles/btpub_analysis.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crawler/CMakeFiles/btpub_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/btpub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/btpub_websim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/portal/CMakeFiles/btpub_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/btpub_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/btpub_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/torrent/CMakeFiles/btpub_torrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bencode/CMakeFiles/btpub_bencode.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_analysis.dir/classify.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/content_type.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/content_type.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/contribution.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/contribution.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/demographics.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/demographics.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/groups.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/groups.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/income.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/income.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/isp.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/isp.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/longitudinal.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/popularity.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/popularity.cpp.o.d"
+  "CMakeFiles/btpub_analysis.dir/session.cpp.o"
+  "CMakeFiles/btpub_analysis.dir/session.cpp.o.d"
+  "libbtpub_analysis.a"
+  "libbtpub_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_bencode.dir/bencode.cpp.o"
+  "CMakeFiles/btpub_bencode.dir/bencode.cpp.o.d"
+  "libbtpub_bencode.a"
+  "libbtpub_bencode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_bencode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

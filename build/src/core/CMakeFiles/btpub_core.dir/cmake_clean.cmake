@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_core.dir/ecosystem.cpp.o"
+  "CMakeFiles/btpub_core.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/btpub_core.dir/scenario.cpp.o"
+  "CMakeFiles/btpub_core.dir/scenario.cpp.o.d"
+  "libbtpub_core.a"
+  "libbtpub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

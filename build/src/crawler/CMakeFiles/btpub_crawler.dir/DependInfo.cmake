@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/crawler.cpp" "src/crawler/CMakeFiles/btpub_crawler.dir/crawler.cpp.o" "gcc" "src/crawler/CMakeFiles/btpub_crawler.dir/crawler.cpp.o.d"
+  "/root/repo/src/crawler/dataset.cpp" "src/crawler/CMakeFiles/btpub_crawler.dir/dataset.cpp.o" "gcc" "src/crawler/CMakeFiles/btpub_crawler.dir/dataset.cpp.o.d"
+  "/root/repo/src/crawler/dataset_io.cpp" "src/crawler/CMakeFiles/btpub_crawler.dir/dataset_io.cpp.o" "gcc" "src/crawler/CMakeFiles/btpub_crawler.dir/dataset_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/portal/CMakeFiles/btpub_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/btpub_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/btpub_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/btpub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/torrent/CMakeFiles/btpub_torrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bencode/CMakeFiles/btpub_bencode.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_crawler.dir/crawler.cpp.o"
+  "CMakeFiles/btpub_crawler.dir/crawler.cpp.o.d"
+  "CMakeFiles/btpub_crawler.dir/dataset.cpp.o"
+  "CMakeFiles/btpub_crawler.dir/dataset.cpp.o.d"
+  "CMakeFiles/btpub_crawler.dir/dataset_io.cpp.o"
+  "CMakeFiles/btpub_crawler.dir/dataset_io.cpp.o.d"
+  "libbtpub_crawler.a"
+  "libbtpub_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/btpub_crypto.dir/sha1.cpp.o.d"
+  "libbtpub_crypto.a"
+  "libbtpub_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

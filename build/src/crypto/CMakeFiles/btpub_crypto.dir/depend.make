@@ -1,0 +1,2 @@
+# Empty dependencies file for btpub_crypto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo_db.cpp" "src/geo/CMakeFiles/btpub_geo.dir/geo_db.cpp.o" "gcc" "src/geo/CMakeFiles/btpub_geo.dir/geo_db.cpp.o.d"
+  "/root/repo/src/geo/isp_catalog.cpp" "src/geo/CMakeFiles/btpub_geo.dir/isp_catalog.cpp.o" "gcc" "src/geo/CMakeFiles/btpub_geo.dir/isp_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_geo.dir/geo_db.cpp.o"
+  "CMakeFiles/btpub_geo.dir/geo_db.cpp.o.d"
+  "CMakeFiles/btpub_geo.dir/isp_catalog.cpp.o"
+  "CMakeFiles/btpub_geo.dir/isp_catalog.cpp.o.d"
+  "libbtpub_geo.a"
+  "libbtpub_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_net.dir/compact.cpp.o"
+  "CMakeFiles/btpub_net.dir/compact.cpp.o.d"
+  "CMakeFiles/btpub_net.dir/ip.cpp.o"
+  "CMakeFiles/btpub_net.dir/ip.cpp.o.d"
+  "libbtpub_net.a"
+  "libbtpub_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/portal/category.cpp" "src/portal/CMakeFiles/btpub_portal.dir/category.cpp.o" "gcc" "src/portal/CMakeFiles/btpub_portal.dir/category.cpp.o.d"
+  "/root/repo/src/portal/portal.cpp" "src/portal/CMakeFiles/btpub_portal.dir/portal.cpp.o" "gcc" "src/portal/CMakeFiles/btpub_portal.dir/portal.cpp.o.d"
+  "/root/repo/src/portal/rss.cpp" "src/portal/CMakeFiles/btpub_portal.dir/rss.cpp.o" "gcc" "src/portal/CMakeFiles/btpub_portal.dir/rss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/torrent/CMakeFiles/btpub_torrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bencode/CMakeFiles/btpub_bencode.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_portal.dir/category.cpp.o"
+  "CMakeFiles/btpub_portal.dir/category.cpp.o.d"
+  "CMakeFiles/btpub_portal.dir/portal.cpp.o"
+  "CMakeFiles/btpub_portal.dir/portal.cpp.o.d"
+  "CMakeFiles/btpub_portal.dir/rss.cpp.o"
+  "CMakeFiles/btpub_portal.dir/rss.cpp.o.d"
+  "libbtpub_portal.a"
+  "libbtpub_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/publisher/names.cpp" "src/publisher/CMakeFiles/btpub_publisher.dir/names.cpp.o" "gcc" "src/publisher/CMakeFiles/btpub_publisher.dir/names.cpp.o.d"
+  "/root/repo/src/publisher/population.cpp" "src/publisher/CMakeFiles/btpub_publisher.dir/population.cpp.o" "gcc" "src/publisher/CMakeFiles/btpub_publisher.dir/population.cpp.o.d"
+  "/root/repo/src/publisher/profile.cpp" "src/publisher/CMakeFiles/btpub_publisher.dir/profile.cpp.o" "gcc" "src/publisher/CMakeFiles/btpub_publisher.dir/profile.cpp.o.d"
+  "/root/repo/src/publisher/publisher.cpp" "src/publisher/CMakeFiles/btpub_publisher.dir/publisher.cpp.o" "gcc" "src/publisher/CMakeFiles/btpub_publisher.dir/publisher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/portal/CMakeFiles/btpub_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/btpub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/btpub_websim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/torrent/CMakeFiles/btpub_torrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/bencode/CMakeFiles/btpub_bencode.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

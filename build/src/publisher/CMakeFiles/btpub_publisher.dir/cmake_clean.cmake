@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_publisher.dir/names.cpp.o"
+  "CMakeFiles/btpub_publisher.dir/names.cpp.o.d"
+  "CMakeFiles/btpub_publisher.dir/population.cpp.o"
+  "CMakeFiles/btpub_publisher.dir/population.cpp.o.d"
+  "CMakeFiles/btpub_publisher.dir/profile.cpp.o"
+  "CMakeFiles/btpub_publisher.dir/profile.cpp.o.d"
+  "CMakeFiles/btpub_publisher.dir/publisher.cpp.o"
+  "CMakeFiles/btpub_publisher.dir/publisher.cpp.o.d"
+  "libbtpub_publisher.a"
+  "libbtpub_publisher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_publisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

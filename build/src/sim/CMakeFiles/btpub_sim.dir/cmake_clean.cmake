@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/btpub_sim.dir/event_queue.cpp.o.d"
+  "libbtpub_sim.a"
+  "libbtpub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

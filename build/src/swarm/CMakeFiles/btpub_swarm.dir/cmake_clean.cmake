@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_swarm.dir/generator.cpp.o"
+  "CMakeFiles/btpub_swarm.dir/generator.cpp.o.d"
+  "CMakeFiles/btpub_swarm.dir/network.cpp.o"
+  "CMakeFiles/btpub_swarm.dir/network.cpp.o.d"
+  "CMakeFiles/btpub_swarm.dir/swarm.cpp.o"
+  "CMakeFiles/btpub_swarm.dir/swarm.cpp.o.d"
+  "libbtpub_swarm.a"
+  "libbtpub_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbtpub_swarm.a"
+)

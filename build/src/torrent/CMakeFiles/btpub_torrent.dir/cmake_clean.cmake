@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_torrent.dir/bitfield.cpp.o"
+  "CMakeFiles/btpub_torrent.dir/bitfield.cpp.o.d"
+  "CMakeFiles/btpub_torrent.dir/magnet.cpp.o"
+  "CMakeFiles/btpub_torrent.dir/magnet.cpp.o.d"
+  "CMakeFiles/btpub_torrent.dir/metainfo.cpp.o"
+  "CMakeFiles/btpub_torrent.dir/metainfo.cpp.o.d"
+  "CMakeFiles/btpub_torrent.dir/wire.cpp.o"
+  "CMakeFiles/btpub_torrent.dir/wire.cpp.o.d"
+  "libbtpub_torrent.a"
+  "libbtpub_torrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_torrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_tracker.dir/announce.cpp.o"
+  "CMakeFiles/btpub_tracker.dir/announce.cpp.o.d"
+  "CMakeFiles/btpub_tracker.dir/private_tracker.cpp.o"
+  "CMakeFiles/btpub_tracker.dir/private_tracker.cpp.o.d"
+  "CMakeFiles/btpub_tracker.dir/tracker.cpp.o"
+  "CMakeFiles/btpub_tracker.dir/tracker.cpp.o.d"
+  "CMakeFiles/btpub_tracker.dir/udp.cpp.o"
+  "CMakeFiles/btpub_tracker.dir/udp.cpp.o.d"
+  "CMakeFiles/btpub_tracker.dir/udp_server.cpp.o"
+  "CMakeFiles/btpub_tracker.dir/udp_server.cpp.o.d"
+  "libbtpub_tracker.a"
+  "libbtpub_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_util.dir/rng.cpp.o"
+  "CMakeFiles/btpub_util.dir/rng.cpp.o.d"
+  "CMakeFiles/btpub_util.dir/stats.cpp.o"
+  "CMakeFiles/btpub_util.dir/stats.cpp.o.d"
+  "CMakeFiles/btpub_util.dir/strings.cpp.o"
+  "CMakeFiles/btpub_util.dir/strings.cpp.o.d"
+  "CMakeFiles/btpub_util.dir/table.cpp.o"
+  "CMakeFiles/btpub_util.dir/table.cpp.o.d"
+  "libbtpub_util.a"
+  "libbtpub_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/websim/appraisal.cpp" "src/websim/CMakeFiles/btpub_websim.dir/appraisal.cpp.o" "gcc" "src/websim/CMakeFiles/btpub_websim.dir/appraisal.cpp.o.d"
+  "/root/repo/src/websim/website.cpp" "src/websim/CMakeFiles/btpub_websim.dir/website.cpp.o" "gcc" "src/websim/CMakeFiles/btpub_websim.dir/website.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

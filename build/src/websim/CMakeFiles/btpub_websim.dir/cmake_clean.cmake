@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub_websim.dir/appraisal.cpp.o"
+  "CMakeFiles/btpub_websim.dir/appraisal.cpp.o.d"
+  "CMakeFiles/btpub_websim.dir/website.cpp.o"
+  "CMakeFiles/btpub_websim.dir/website.cpp.o.d"
+  "libbtpub_websim.a"
+  "libbtpub_websim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub_websim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

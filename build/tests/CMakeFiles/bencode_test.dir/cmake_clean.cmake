@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bencode_test.dir/bencode_test.cpp.o"
+  "CMakeFiles/bencode_test.dir/bencode_test.cpp.o.d"
+  "bencode_test"
+  "bencode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bencode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitfield_wire_test.cpp" "tests/CMakeFiles/bitfield_wire_test.dir/bitfield_wire_test.cpp.o" "gcc" "tests/CMakeFiles/bitfield_wire_test.dir/bitfield_wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/btpub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/btpub_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/btpub_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/publisher/CMakeFiles/btpub_publisher.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/btpub_websim.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/btpub_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/btpub_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/portal/CMakeFiles/btpub_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/btpub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/torrent/CMakeFiles/btpub_torrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/btpub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/btpub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bencode/CMakeFiles/btpub_bencode.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btpub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/btpub_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitfield_wire_test.dir/bitfield_wire_test.cpp.o"
+  "CMakeFiles/bitfield_wire_test.dir/bitfield_wire_test.cpp.o.d"
+  "bitfield_wire_test"
+  "bitfield_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitfield_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

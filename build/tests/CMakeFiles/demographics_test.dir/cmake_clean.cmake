@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographics_test.dir/demographics_test.cpp.o"
+  "CMakeFiles/demographics_test.dir/demographics_test.cpp.o.d"
+  "demographics_test"
+  "demographics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_network_test.dir/generator_network_test.cpp.o"
+  "CMakeFiles/generator_network_test.dir/generator_network_test.cpp.o.d"
+  "generator_network_test"
+  "generator_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

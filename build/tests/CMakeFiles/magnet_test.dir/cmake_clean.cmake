@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnet_test.dir/magnet_test.cpp.o"
+  "CMakeFiles/magnet_test.dir/magnet_test.cpp.o.d"
+  "magnet_test"
+  "magnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metainfo_test.dir/metainfo_test.cpp.o"
+  "CMakeFiles/metainfo_test.dir/metainfo_test.cpp.o.d"
+  "metainfo_test"
+  "metainfo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metainfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

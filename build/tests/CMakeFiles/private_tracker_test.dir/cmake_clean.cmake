@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_tracker_test.dir/private_tracker_test.cpp.o"
+  "CMakeFiles/private_tracker_test.dir/private_tracker_test.cpp.o.d"
+  "private_tracker_test"
+  "private_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

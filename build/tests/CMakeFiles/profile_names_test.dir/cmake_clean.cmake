@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_names_test.dir/profile_names_test.cpp.o"
+  "CMakeFiles/profile_names_test.dir/profile_names_test.cpp.o.d"
+  "profile_names_test"
+  "profile_names_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_names_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publisher_test.dir/publisher_test.cpp.o"
+  "CMakeFiles/publisher_test.dir/publisher_test.cpp.o.d"
+  "publisher_test"
+  "publisher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publisher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

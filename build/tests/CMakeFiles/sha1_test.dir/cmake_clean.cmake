@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sha1_test.dir/sha1_test.cpp.o"
+  "CMakeFiles/sha1_test.dir/sha1_test.cpp.o.d"
+  "sha1_test"
+  "sha1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sha1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

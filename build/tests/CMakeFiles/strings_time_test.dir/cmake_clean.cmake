@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_time_test.dir/strings_time_test.cpp.o"
+  "CMakeFiles/strings_time_test.dir/strings_time_test.cpp.o.d"
+  "strings_time_test"
+  "strings_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

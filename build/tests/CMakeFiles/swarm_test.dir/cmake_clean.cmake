@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_test.dir/swarm_test.cpp.o"
+  "CMakeFiles/swarm_test.dir/swarm_test.cpp.o.d"
+  "swarm_test"
+  "swarm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_tracker_test.dir/udp_tracker_test.cpp.o"
+  "CMakeFiles/udp_tracker_test.dir/udp_tracker_test.cpp.o.d"
+  "udp_tracker_test"
+  "udp_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websim_test.dir/websim_test.cpp.o"
+  "CMakeFiles/websim_test.dir/websim_test.cpp.o.d"
+  "websim_test"
+  "websim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btpub.dir/btpub_cli.cpp.o"
+  "CMakeFiles/btpub.dir/btpub_cli.cpp.o.d"
+  "btpub"
+  "btpub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btpub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
