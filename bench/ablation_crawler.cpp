@@ -25,9 +25,9 @@ struct Outcome {
 };
 
 Outcome evaluate(Ecosystem& ecosystem, const CrawlerConfig& config) {
-  ecosystem.tracker().reset_state(Rng(1234));
+  ecosystem.tracker().reset_state(1234);
   Crawler crawler(ecosystem.portal(), ecosystem.tracker(), ecosystem.network(),
-                  ecosystem.geo(), config, Rng(77));
+                  ecosystem.geo(), config, 77);
   const Dataset dataset = crawler.crawl_window(0, ecosystem.config().window);
 
   Outcome outcome;

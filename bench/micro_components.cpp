@@ -1,10 +1,13 @@
 // Component microbenchmarks (google-benchmark): the hot paths of the
 // measurement apparatus — SHA-1, bencode, tracker announces over a large
-// swarm, peer sampling, and session reconstruction.
+// swarm, peer sampling, session reconstruction, and the parallel crawl
+// engine's thread scaling.
 #include <benchmark/benchmark.h>
 
 #include "analysis/session.hpp"
 #include "bencode/bencode.hpp"
+#include "core/ecosystem.hpp"
+#include "crawler/crawler.hpp"
 #include "crypto/sha1.hpp"
 #include "torrent/metainfo.hpp"
 #include "tracker/tracker.hpp"
@@ -110,6 +113,44 @@ void BM_DiscoveryProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiscoveryProbability);
+
+// Parallel crawl throughput: full crawl of a quick-scenario ecosystem at
+// 1/2/4/8 worker threads. The ecosystem is built once; each iteration
+// resets the tracker's client state and re-runs the whole crawl. The
+// resulting dataset is byte-identical at every thread count — only the
+// wall time changes.
+void BM_ParallelCrawlWindow(benchmark::State& state) {
+  static Ecosystem* ecosystem = [] {
+    auto* e = new Ecosystem(ScenarioConfig::quick(42));
+    e->build();
+    return e;
+  }();
+  CrawlerConfig config = ecosystem->config().crawler;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t torrents = 0;
+  for (auto _ : state) {
+    ecosystem->tracker().reset_state(42 ^ 0x7214CBull);
+    Crawler crawler(ecosystem->portal(), ecosystem->tracker(),
+                    ecosystem->network(), ecosystem->geo(), config,
+                    42 ^ 0xC4A37E5ull);
+    const Dataset dataset =
+        crawler.crawl_window(0, ecosystem->config().window);
+    torrents = dataset.torrent_count();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.counters["torrents"] = static_cast<double>(torrents);
+  state.counters["torrents/s"] = benchmark::Counter(
+      static_cast<double>(torrents * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelCrawlWindow)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace btpub

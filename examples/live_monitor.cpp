@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   ecosystem.build();
 
   Crawler crawler(ecosystem.portal(), ecosystem.tracker(), ecosystem.network(),
-                  ecosystem.geo(), CrawlerConfig{}, Rng(seed));
+                  ecosystem.geo(), CrawlerConfig{}, seed);
   MonitorDb db(ecosystem.geo(), ecosystem.websites());
 
   std::printf("monitoring portal '%s' for %lld simulated days...\n\n",

@@ -12,11 +12,25 @@ double discovery_probability(double w, double n, std::size_t m) {
 }
 
 std::size_t queries_for_probability(double w, double n, double target) {
+  // Degenerate inputs first: NaNs poison every comparison below, and a
+  // publisher that can never appear in a reply window (w <= 0, or an empty
+  // swarm) makes per_query_miss exactly 1, whose log is 0 — the division
+  // would yield inf and casting inf to std::size_t is UB.
+  if (std::isnan(w) || std::isnan(n) || std::isnan(target)) {
+    return kQueriesUnreachable;
+  }
+  if (target <= 0.0) return 0;  // any nonpositive target is already met
+  if (n <= 0.0 || w <= 0.0) return kQueriesUnreachable;
   if (w >= n) return 1;
   if (target >= 1.0) target = 1.0 - 1e-12;
   const double per_query_miss = 1.0 - w / n;
-  return static_cast<std::size_t>(
-      std::ceil(std::log(1.0 - target) / std::log(per_query_miss)));
+  const double queries =
+      std::ceil(std::log(1.0 - target) / std::log(per_query_miss));
+  if (!(queries >= 0.0) ||
+      queries >= static_cast<double>(kQueriesUnreachable)) {
+    return kQueriesUnreachable;
+  }
+  return static_cast<std::size_t>(queries);
 }
 
 std::vector<Interval> reconstruct_sessions(std::span<const SimTime> sightings,

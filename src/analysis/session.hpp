@@ -9,6 +9,7 @@
 // seeding metrics aggregate the reconstructed sessions per publisher.
 #pragma once
 
+#include <limits>
 #include <span>
 
 #include "analysis/groups.hpp"
@@ -22,8 +23,14 @@ namespace btpub {
 /// of N peers is returned at least once over m queries of W random peers.
 double discovery_probability(double w, double n, std::size_t m);
 
+/// Sentinel returned by queries_for_probability when no finite number of
+/// queries can reach the target (W <= 0, empty swarm, or NaN inputs).
+inline constexpr std::size_t kQueriesUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
 /// Queries needed for discovery_probability >= target (Appendix A solves
-/// this for W=50, N=165, target 0.99 -> m = 13).
+/// this for W=50, N=165, target 0.99 -> m = 13). Degenerate inputs return
+/// kQueriesUnreachable (never observable) or 0 (target already met).
 std::size_t queries_for_probability(double w, double n, double target);
 
 /// Turns sparse sighting times into presence sessions: consecutive

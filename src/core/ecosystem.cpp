@@ -222,13 +222,12 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
 
 Dataset Ecosystem::crawl() {
   if (!built_) throw std::logic_error("Ecosystem::crawl before build");
-  // Fixed forks keyed off the scenario seed keep repeated crawls of the
+  // Fixed seeds keyed off the scenario seed keep repeated crawls of the
   // same ecosystem identical; the tracker's client-side state (rate limits,
-  // sampling stream) is reset so a crawl never observes a previous one.
-  tracker_->reset_state(Rng(config_.seed ^ 0x7214CBull));
-  Rng crawler_rng(config_.seed ^ 0xC4A37E5ull);
+  // sampling key) is reset so a crawl never observes a previous one.
+  tracker_->reset_state(config_.seed ^ 0x7214CBull);
   Crawler crawler(portal_, *tracker_, network_, geo(), config_.crawler,
-                  crawler_rng);
+                  config_.seed ^ 0xC4A37E5ull);
   return crawler.crawl_window(0, config_.window);
 }
 

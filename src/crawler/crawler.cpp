@@ -1,21 +1,24 @@
 #include "crawler/crawler.hpp"
 
 #include <algorithm>
+#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "torrent/metainfo.hpp"
 #include "torrent/wire.hpp"
+#include "util/thread_pool.hpp"
 
 namespace btpub {
 
 Crawler::Crawler(const Portal& portal, Tracker& tracker, SwarmNetwork& network,
-                 const GeoDb& geo, CrawlerConfig config, Rng rng)
+                 const GeoDb& geo, CrawlerConfig config, std::uint64_t seed)
     : portal_(&portal),
       tracker_(&tracker),
       network_(&network),
       geo_(&geo),
       config_(std::move(config)),
-      rng_(rng) {}
+      seed_(seed) {}
 
 Endpoint Crawler::vantage(std::size_t index) const {
   // Measurement machines live in 10.77.0.0/16, outside the simulated
@@ -27,7 +30,8 @@ Endpoint Crawler::vantage(std::size_t index) const {
 
 void Crawler::record_reply(const AnnounceReply& reply, TorrentRecord& record,
                            std::vector<IpAddress>& ips,
-                           std::vector<SimTime>& sightings, SimTime now) {
+                           std::vector<SimTime>& sightings,
+                           std::unordered_set<IpAddress>& seen, SimTime now) {
   record.max_concurrent =
       std::max(record.max_concurrent, reply.complete + reply.incomplete);
   for (const Endpoint& peer : reply.peers) {
@@ -35,12 +39,13 @@ void Crawler::record_reply(const AnnounceReply& reply, TorrentRecord& record,
       sightings.push_back(now);
       continue;
     }
-    if (seen_ips_.insert(peer.ip).second) ips.push_back(peer.ip);
+    if (seen.insert(peer.ip).second) ips.push_back(peer.ip);
   }
 }
 
 void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
-                            std::vector<SimTime>& sightings, SimTime now) {
+                            std::vector<SimTime>& sightings,
+                            std::unordered_set<IpAddress>& seen, SimTime now) {
   AnnounceRequest request;
   request.infohash = record.infohash;
   request.client = vantage(0);
@@ -78,11 +83,12 @@ void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
       }
     }
   }
-  record_reply(reply, record, ips, sightings, now);
+  record_reply(reply, record, ips, sightings, seen, now);
 }
 
 void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
-                      std::vector<SimTime>& sightings, SimTime hard_stop) {
+                      std::vector<SimTime>& sightings,
+                      std::unordered_set<IpAddress>& seen, SimTime hard_stop) {
   // Each vantage machine queries at the fastest allowed cadence; their
   // schedules are staggered so aggregated resolution is gap/vantage_points.
   const SimDuration gap = tracker_->enforced_gap() + kSecond;
@@ -109,7 +115,7 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
         tracker_->handle_get(to_query_string(request)));
     ++record.query_count;
     if (reply.ok) {
-      record_reply(reply, record, ips, sightings, now);
+      record_reply(reply, record, ips, sightings, seen, now);
       if (reply.peers.empty()) {
         if (++consecutive_empty >= config_.empty_replies_to_stop) break;
       } else {
@@ -131,6 +137,13 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
 std::optional<TorrentRecord> Crawler::discover(TorrentId id, SimTime now,
                                                std::vector<IpAddress>& downloaders,
                                                std::vector<SimTime>& sightings) {
+  std::unordered_set<IpAddress> seen;
+  return discover_with(id, now, downloaders, sightings, seen);
+}
+
+std::optional<TorrentRecord> Crawler::discover_with(
+    TorrentId id, SimTime now, std::vector<IpAddress>& downloaders,
+    std::vector<SimTime>& sightings, std::unordered_set<IpAddress>& seen) {
   const auto page = portal_->page(id, now);
   if (!page || page->removed) return std::nullopt;
   const auto torrent_bytes = portal_->fetch_torrent(id, now);
@@ -158,9 +171,37 @@ std::optional<TorrentRecord> Crawler::discover(TorrentId id, SimTime now,
     record.payload_filenames.push_back(f.path);
   }
 
-  seen_ips_.clear();
-  first_contact(record, downloaders, sightings, now);
+  first_contact(record, downloaders, sightings, seen, now);
   return record;
+}
+
+Crawler::CrawlResult Crawler::crawl_one(TorrentId id, SimTime published_at,
+                                        SimTime window_end) {
+  CrawlResult result;
+  // Per-torrent substream: the jitter (and any future per-torrent draw)
+  // depends only on (seed, portal id), never on how many torrents were
+  // crawled before this one or on which worker runs it.
+  Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(id)));
+
+  // Discovery happens at the next RSS poll tick plus a small handling
+  // delay for the .torrent download.
+  const SimTime poll_tick =
+      ((published_at / config_.rss_poll) + 1) * config_.rss_poll;
+  const SimTime discovery =
+      poll_tick + static_cast<SimDuration>(rng.uniform_int(5, 60));
+
+  std::unordered_set<IpAddress> seen;
+  auto record = discover_with(id, discovery, result.downloaders,
+                              result.sightings, seen);
+  if (!record) return result;  // removed before we could fetch it
+
+  if (config_.style != DatasetStyle::Pb09) {
+    monitor(*record, result.downloaders, result.sightings, seen,
+            window_end + config_.grace);
+  }
+  result.record = std::move(*record);
+  result.ok = true;
+  return result;
 }
 
 Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
@@ -174,33 +215,53 @@ Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
   // is equivalent to having tailed the RSS feed throughout the window.
   const TorrentId newest = portal_->newest_id();
   if (newest == kInvalidTorrent) return dataset;
+
+  struct Candidate {
+    TorrentId id;
+    SimTime published_at;
+  };
+  std::vector<Candidate> candidates;
   for (TorrentId id = 0; id <= newest; ++id) {
     // Peek only at the publication timestamp — equivalent to having read
     // the RSS item when it appeared; all content access goes through
-    // discover() at the discovery time.
+    // discover_with() at the discovery time.
     const auto page = portal_->page(id, window_end + config_.grace);
     if (!page) continue;
     if (page->published_at < window_start || page->published_at >= window_end) {
       continue;
     }
-    // Discovery happens at the next RSS poll tick plus a small handling
-    // delay for the .torrent download.
-    const SimTime poll_tick =
-        ((page->published_at / config_.rss_poll) + 1) * config_.rss_poll;
-    const SimTime discovery = poll_tick + static_cast<SimDuration>(
-                                              rng_.uniform_int(5, 60));
+    candidates.push_back(Candidate{id, page->published_at});
+  }
 
-    std::vector<IpAddress> ips;
-    std::vector<SimTime> sightings;
-    auto record = discover(id, discovery, ips, sightings);
-    if (!record) continue;  // removed before we could fetch it
-
-    if (config_.style != DatasetStyle::Pb09) {
-      monitor(*record, ips, sightings, window_end + config_.grace);
+  // Fan the per-torrent crawls out; merge in portal-id order (candidates
+  // are already id-ascending) so the dataset layout is independent of
+  // completion order.
+  std::vector<CrawlResult> results(candidates.size());
+  const std::size_t n_threads = ThreadPool::resolve_threads(config_.threads);
+  if (n_threads <= 1 || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      results[i] =
+          crawl_one(candidates[i].id, candidates[i].published_at, window_end);
     }
-    dataset.torrents.push_back(std::move(*record));
-    dataset.downloaders.push_back(std::move(ips));
-    dataset.publisher_sightings.push_back(std::move(sightings));
+  } else {
+    ThreadPool pool(n_threads);
+    std::vector<std::future<CrawlResult>> futures;
+    futures.reserve(candidates.size());
+    for (const Candidate& candidate : candidates) {
+      futures.push_back(pool.submit([this, candidate, window_end] {
+        return crawl_one(candidate.id, candidate.published_at, window_end);
+      }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      results[i] = futures[i].get();  // rethrows any worker exception
+    }
+  }
+
+  for (CrawlResult& result : results) {
+    if (!result.ok) continue;  // removed before we could fetch it
+    dataset.torrents.push_back(std::move(result.record));
+    dataset.downloaders.push_back(std::move(result.downloaders));
+    dataset.publisher_sightings.push_back(std::move(result.sightings));
   }
 
   // Snapshot user pages at the end of the crawl (§5.2's longitudinal view).

@@ -1,6 +1,8 @@
 #include "crawler/dataset_io.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -122,9 +124,18 @@ void save_dataset(const Dataset& dataset, std::ostream& out) {
     write_pod(out, static_cast<std::uint32_t>(sightings.size()));
     for (const SimTime t : sightings) write_pod(out, t);
   }
+  // Emit user pages in sorted username order: the in-memory container is an
+  // unordered_map, and byte-identical serialization (the parallel-crawl
+  // determinism invariant) must not hinge on its iteration order.
+  std::vector<const std::string*> usernames;
+  usernames.reserve(dataset.user_pages.size());
+  for (const auto& [name, page] : dataset.user_pages) usernames.push_back(&name);
+  std::sort(usernames.begin(), usernames.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
   write_pod(out, static_cast<std::uint64_t>(dataset.user_pages.size()));
-  for (const auto& [name, page] : dataset.user_pages) {
-    write_string(out, name);
+  for (const std::string* name : usernames) {
+    const UserPage& page = dataset.user_pages.at(*name);
+    write_string(out, *name);
     write_pod(out, static_cast<std::uint8_t>(page.banned));
     write_pod(out, static_cast<std::uint32_t>(page.publish_times.size()));
     for (const SimTime t : page.publish_times) write_pod(out, t);

@@ -7,15 +7,16 @@
 namespace btpub {
 
 Tracker::Tracker(TrackerConfig config, Rng rng)
-    : config_(std::move(config)), rng_(rng) {
+    : config_(std::move(config)) {
   if (config_.max_query_gap < config_.min_query_gap) {
     throw std::invalid_argument("Tracker: max_query_gap < min_query_gap");
   }
   enforced_gap_ = config_.min_query_gap +
                   static_cast<SimDuration>(
-                      rng_.uniform() *
+                      rng.uniform() *
                       static_cast<double>(config_.max_query_gap -
                                           config_.min_query_gap));
+  sample_seed_ = rng.next();
 }
 
 void Tracker::host_swarm(Swarm& swarm) {
@@ -30,14 +31,31 @@ bool Tracker::hosts(const Sha1Digest& infohash) const {
 }
 
 bool Tracker::is_blacklisted(IpAddress client) const {
-  return blacklist_.contains(client.value());
+  const Shard& shard = shard_for(client.value());
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.blacklist.contains(client.value());
 }
 
-void Tracker::reset_state(Rng rng) {
-  rng_ = rng;
-  last_query_.clear();
-  violations_.clear();
-  blacklist_.clear();
+void Tracker::reset_state(std::uint64_t sample_seed) {
+  sample_seed_ = sample_seed;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.last_query.clear();
+    shard.violations.clear();
+    shard.blacklist.clear();
+  }
+}
+
+Tracker::Stats Tracker::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.queries += shard.stats.queries;
+    total.rejected_rate += shard.stats.rejected_rate;
+    total.rejected_blacklist += shard.stats.rejected_blacklist;
+    total.rejected_unknown += shard.stats.rejected_unknown;
+  }
+  return total;
 }
 
 std::string Tracker::handle_get(std::string_view query_string) {
@@ -52,34 +70,42 @@ std::string Tracker::handle_get(std::string_view query_string) {
 }
 
 AnnounceReply Tracker::announce(const AnnounceRequest& request) {
-  ++stats_.queries;
+  const std::uint32_t client_ip = request.client.ip.value();
+  Shard& shard = shard_for(client_ip);
   AnnounceReply reply;
   reply.interval = enforced_gap_;
 
-  if (blacklist_.contains(request.client.ip.value())) {
-    ++stats_.rejected_blacklist;
-    reply.ok = false;
-    reply.failure_reason = "client banned";
-    return reply;
-  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.queries;
 
-  const ClientKey key{request.client.ip.value(), request.infohash};
-  const auto last = last_query_.find(key);
-  if (last != last_query_.end() && request.now - last->second < enforced_gap_) {
-    ++stats_.rejected_rate;
-    auto& count = violations_[request.client.ip.value()];
-    if (++count >= config_.blacklist_after) {
-      blacklist_.insert(request.client.ip.value());
+    if (shard.blacklist.contains(client_ip)) {
+      ++shard.stats.rejected_blacklist;
+      reply.ok = false;
+      reply.failure_reason = "client banned";
+      return reply;
     }
-    reply.ok = false;
-    reply.failure_reason = "slow down";
-    return reply;
+
+    const ClientKey key{client_ip, request.infohash};
+    const auto last = shard.last_query.find(key);
+    if (last != shard.last_query.end() &&
+        request.now - last->second < enforced_gap_) {
+      ++shard.stats.rejected_rate;
+      auto& count = shard.violations[client_ip];
+      if (++count >= config_.blacklist_after) {
+        shard.blacklist.insert(client_ip);
+      }
+      reply.ok = false;
+      reply.failure_reason = "slow down";
+      return reply;
+    }
+    shard.last_query[key] = request.now;
   }
-  last_query_[key] = request.now;
 
   const auto it = swarms_.find(request.infohash);
   if (it == swarms_.end()) {
-    ++stats_.rejected_unknown;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.rejected_unknown;
     reply.ok = false;
     reply.failure_reason = "unregistered torrent";
     return reply;
@@ -91,7 +117,14 @@ AnnounceReply Tracker::announce(const AnnounceRequest& request) {
   reply.complete = counts.seeders;
   reply.incomplete = counts.leechers;
   const std::size_t want = std::min(request.numwant, config_.max_numwant);
-  for (const PeerSession* session : swarm.sample_peers(request.now, want, rng_)) {
+  // Stateless sampling stream: the draw is a pure function of the query
+  // identity, so replies do not depend on announce ordering across swarms.
+  Rng sample_rng(derive_seed(
+      sample_seed_,
+      static_cast<std::uint64_t>(std::hash<Sha1Digest>{}(request.infohash)),
+      static_cast<std::uint64_t>(request.now), client_ip));
+  for (const PeerSession* session :
+       swarm.sample_peers(request.now, want, sample_rng)) {
     reply.peers.push_back(session->endpoint);
   }
   return reply;

@@ -6,9 +6,25 @@
 // exactly the view the paper's crawler aggregates. The tracker enforces the
 // query-rate limit the authors had to respect (one query per 10–15 minutes
 // per client and torrent) and blacklists abusive clients.
+//
+// Threading contract (the parallel crawl engine relies on this):
+//   * host_swarm() is build-time only — the swarm registry is read-only
+//     once announces begin.
+//   * Per-client mutable state (rate-limit timestamps, violation counters,
+//     the blacklist, stats) is sharded by client IP under striped mutexes,
+//     so announces from different crawl workers never race.
+//   * Peer sampling is stateless: each reply draws from a generator keyed
+//     on (sample seed, infohash, query time, client IP), never from a
+//     shared stream, so the sampled subset is a pure function of the query
+//     and is identical under any thread interleaving.
+//   * A given swarm's time sweep is single-threaded: concurrent announces
+//     for the SAME infohash are not supported (the crawler fans out
+//     per-torrent, so each swarm is only ever queried by one worker).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -33,7 +49,8 @@ struct TrackerConfig {
   std::string announce_url = "http://tracker.btpub.example/announce";
 };
 
-/// The tracker. Not thread-safe; the simulation is single-threaded.
+/// The tracker. Announces are thread-safe across distinct infohashes; see
+/// the threading contract above.
 class Tracker {
  public:
   explicit Tracker(TrackerConfig config, Rng rng);
@@ -42,6 +59,7 @@ class Tracker {
   const std::string& announce_url() const noexcept { return config_.announce_url; }
 
   /// Hosts a finalized swarm; the swarm must outlive the tracker.
+  /// Build-time only — not safe concurrently with announce().
   void host_swarm(Swarm& swarm);
   bool hosts(const Sha1Digest& infohash) const;
   std::size_t swarm_count() const noexcept { return swarms_.size(); }
@@ -60,10 +78,11 @@ class Tracker {
 
   bool is_blacklisted(IpAddress client) const;
 
-  /// Clears per-client rate-limit/blacklist state and re-seeds the peer-
-  /// sampling stream; hosted swarms, stats and the enforced gap are kept.
-  /// Lets one tracker serve repeated identical crawls deterministically.
-  void reset_state(Rng rng);
+  /// Clears per-client rate-limit/blacklist state and re-keys the
+  /// stateless peer-sampling draw; hosted swarms, stats and the enforced
+  /// gap are kept. Lets one tracker serve repeated identical crawls
+  /// deterministically.
+  void reset_state(std::uint64_t sample_seed);
 
   struct Stats {
     std::uint64_t queries = 0;
@@ -71,7 +90,9 @@ class Tracker {
     std::uint64_t rejected_blacklist = 0;
     std::uint64_t rejected_unknown = 0;
   };
-  const Stats& stats() const noexcept { return stats_; }
+  /// Aggregated over all shards; a consistent snapshot only while no
+  /// announce is in flight.
+  Stats stats() const;
 
   /// The gap this tracker actually enforces (drawn once at construction).
   SimDuration enforced_gap() const noexcept { return enforced_gap_; }
@@ -89,14 +110,30 @@ class Tracker {
     }
   };
 
+  /// All mutable per-client state for one stripe of the IP space. Keying
+  /// every map in the shard by the client IP keeps one announce's rate
+  /// check, violation bump and blacklist lookup under a single lock.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<ClientKey, SimTime, ClientKeyHash> last_query;
+    std::unordered_map<std::uint32_t, std::uint32_t> violations;
+    std::unordered_set<std::uint32_t> blacklist;
+    Stats stats;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(std::uint32_t ip) noexcept {
+    return shards_[(ip * 0x9E3779B9u) >> 28];  // top 4 bits of a Fibonacci hash
+  }
+  const Shard& shard_for(std::uint32_t ip) const noexcept {
+    return shards_[(ip * 0x9E3779B9u) >> 28];
+  }
+
   TrackerConfig config_;
-  Rng rng_;
   SimDuration enforced_gap_;
+  std::uint64_t sample_seed_;
   std::unordered_map<Sha1Digest, Swarm*> swarms_;
-  std::unordered_map<ClientKey, SimTime, ClientKeyHash> last_query_;
-  std::unordered_map<std::uint32_t, std::uint32_t> violations_;
-  std::unordered_set<std::uint32_t> blacklist_;
-  Stats stats_;
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace btpub

@@ -20,6 +20,15 @@ std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t key) noexcept {
+  // Feed the pair through one SplitMix64 step each so that both arguments
+  // diffuse into the result; xor alone would make (a, b) and (b, a) collide.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ key;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

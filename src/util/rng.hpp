@@ -14,6 +14,22 @@
 
 namespace btpub {
 
+/// Stateless substream derivation: maps a (seed, key) pair onto a child
+/// seed through SplitMix64 finalisation. Two different keys give unrelated
+/// streams; the same pair always gives the same stream, independent of any
+/// generator state. This is what makes the parallel crawl deterministic —
+/// every per-torrent and per-announce generator is keyed by identity
+/// (portal id, infohash, query time...) rather than drawn from a shared
+/// sequential stream whose output would depend on scheduling order.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t key) noexcept;
+
+/// Variadic form: folds every key into the seed left to right.
+template <typename... Keys>
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t key,
+                          Keys... rest) noexcept {
+  return derive_seed(derive_seed(seed, key), static_cast<std::uint64_t>(rest)...);
+}
+
 /// Deterministic random number generator plus the distributions the
 /// ecosystem model needs (uniform, normal, lognormal, exponential,
 /// Zipf, Pareto). Satisfies UniformRandomBitGenerator so it can also be

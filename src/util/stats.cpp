@@ -128,18 +128,36 @@ Histogram::Histogram(double lo_, double hi_, std::size_t bins) : lo(lo_), hi(hi_
 }
 
 void Histogram::add(double v) {
+  if (std::isnan(v)) {
+    ++nan_count;
+    return;
+  }
+  if (v < lo) {
+    ++underflow;
+    return;
+  }
+  if (v >= hi) {
+    ++overflow;
+    return;
+  }
   const double span = hi - lo;
-  auto idx = static_cast<std::ptrdiff_t>((v - lo) / span * static_cast<double>(counts.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts.size()) - 1);
-  ++counts[static_cast<std::size_t>(idx)];
+  auto idx = static_cast<std::size_t>((v - lo) / span *
+                                      static_cast<double>(counts.size()));
+  // v just below hi can still round up to bins due to floating point.
+  if (idx >= counts.size()) idx = counts.size() - 1;
+  ++counts[idx];
 }
 
 std::size_t Histogram::total() const {
   return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
 }
 
+std::size_t Histogram::observed() const {
+  return total() + underflow + overflow + nan_count;
+}
+
 double Histogram::fraction(std::size_t i) const {
-  const std::size_t t = total();
+  const std::size_t t = observed();
   if (t == 0 || i >= counts.size()) return 0.0;
   return static_cast<double>(counts[i]) / static_cast<double>(t);
 }

@@ -64,17 +64,26 @@ std::vector<LorenzPoint> top_share_curve(std::span<const double> contributions,
 /// Share of total mass held by the k largest contributors.
 double top_k_share(std::span<const double> contributions, std::size_t k);
 
-/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
-/// the range are clamped into the edge buckets.
+/// Fixed-width histogram over [lo, hi) with `bins` buckets. Samples outside
+/// the range are NOT clamped into the edge buckets (that silently corrupts
+/// the distribution tails) — they are tallied in the explicit `underflow` /
+/// `overflow` counters; NaN samples land in `nan_count`.
 struct Histogram {
   double lo = 0.0;
   double hi = 1.0;
   std::vector<std::size_t> counts;
+  std::size_t underflow = 0;   // samples with v < lo
+  std::size_t overflow = 0;    // samples with v >= hi
+  std::size_t nan_count = 0;   // NaN samples (neither under nor over)
 
   Histogram(double lo_, double hi_, std::size_t bins);
   void add(double v);
+  /// In-range samples only.
   std::size_t total() const;
-  /// Fraction of samples in bucket i.
+  /// Every add() call, including out-of-range and NaN samples.
+  std::size_t observed() const;
+  /// Fraction of all observed samples in bucket i (out-of-range samples
+  /// dilute the in-range mass, as they should).
   double fraction(std::size_t i) const;
 };
 

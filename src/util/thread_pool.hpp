@@ -1,0 +1,68 @@
+// thread_pool.hpp — fixed-size worker pool for the parallel crawl engine.
+//
+// The pool is deliberately minimal: submit() hands a callable to a FIFO
+// queue and returns a std::future for its result; workers drain the queue
+// until the pool is destroyed. Exceptions thrown by a task are captured in
+// its future and rethrown at get(), never swallowed. Determinism is the
+// caller's job — tasks must not share mutable state unless it is
+// synchronised, and result ordering must be reimposed by the caller (the
+// crawler keys results by portal id, so completion order is irrelevant).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace btpub {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (or 1 when that reports 0, as it may in containers).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; its result (or exception) is delivered through the
+  /// returned future. Must not be called after the destructor has begun.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Resolves a user-facing thread-count knob: 0 -> hardware concurrency,
+  /// floor of 1.
+  static std::size_t resolve_threads(std::size_t requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace btpub

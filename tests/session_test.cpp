@@ -33,6 +33,26 @@ TEST(DiscoveryProbability, Extremes) {
   EXPECT_EQ(queries_for_probability(200, 100, 0.99), 1u);
 }
 
+TEST(QueriesForProbability, DegenerateInputsReturnSentinelNotUB) {
+  // w <= 0: the publisher can never appear in a reply window; the naive
+  // formula divides by log(1) == 0 and casts inf to size_t (UB).
+  EXPECT_EQ(queries_for_probability(0, 165, 0.99), kQueriesUnreachable);
+  EXPECT_EQ(queries_for_probability(-5, 165, 0.99), kQueriesUnreachable);
+  // Empty or negative swarm: nothing to discover.
+  EXPECT_EQ(queries_for_probability(50, 0, 0.99), kQueriesUnreachable);
+  EXPECT_EQ(queries_for_probability(50, -1, 0.99), kQueriesUnreachable);
+  // NaN anywhere: unanswerable.
+  const double nan = std::nan("");
+  EXPECT_EQ(queries_for_probability(nan, 165, 0.99), kQueriesUnreachable);
+  EXPECT_EQ(queries_for_probability(50, nan, 0.99), kQueriesUnreachable);
+  EXPECT_EQ(queries_for_probability(50, 165, nan), kQueriesUnreachable);
+  // A nonpositive target is met before the first query.
+  EXPECT_EQ(queries_for_probability(50, 165, 0.0), 0u);
+  EXPECT_EQ(queries_for_probability(50, 165, -0.5), 0u);
+  // target >= 1 is clamped to just below certainty, still finite.
+  EXPECT_LT(queries_for_probability(50, 165, 1.0), kQueriesUnreachable);
+}
+
 class ProbabilityFormula
     : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {};
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace btpub {
@@ -141,19 +142,36 @@ TEST(TopKShare, Basics) {
   EXPECT_DOUBLE_EQ(top_k_share({}, 5), 0.0);
 }
 
-TEST(HistogramTest, CountsAndClamping) {
+TEST(HistogramTest, CountsInRangeSamples) {
   Histogram h(0.0, 10.0, 5);
-  h.add(0.5);   // bucket 0
-  h.add(9.9);   // bucket 4
-  h.add(-3.0);  // clamped to 0
-  h.add(42.0);  // clamped to 4
-  h.add(5.0);   // bucket 2
-  EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.counts[0], 2u);
+  h.add(0.5);  // bucket 0
+  h.add(9.9);  // bucket 4
+  h.add(5.0);  // bucket 2
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.observed(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);
   EXPECT_EQ(h.counts[2], 1u);
-  EXPECT_EQ(h.counts[4], 2u);
-  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_EQ(h.counts[4], 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(h.fraction(7), 0.0);  // out of range index
+}
+
+TEST(HistogramTest, OutOfRangeGoesToUnderOverflowNotEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);  // below lo
+  h.add(42.0);  // at/above hi
+  h.add(10.0);  // hi itself is exclusive
+  h.add(std::nan(""));
+  h.add(5.0);  // the only in-range sample
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 2u);
+  EXPECT_EQ(h.nan_count, 1u);
+  EXPECT_EQ(h.counts[0], 0u);  // tails no longer corrupted
+  EXPECT_EQ(h.counts[4], 0u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.observed(), 5u);
+  // Fractions denominate over everything observed.
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.2);
 }
 
 TEST(Rendering, ToStringContainsFields) {

@@ -1,0 +1,98 @@
+// ThreadPool: task execution, FIFO ordering on a single worker, exception
+// propagation through futures, and drain-on-shutdown semantics.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace btpub {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(4), 4u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, ExecutesTasksAndReturnsValues) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  std::vector<int> expected(20);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing task must not take the worker down with it.
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++executed;
+      }));
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(executed.load(), 100);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto future = pool.submit([&total] { ++total; });
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(future));
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(total.load(), 100);
+}
+
+}  // namespace
+}  // namespace btpub

@@ -34,7 +34,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  btpub simulate --scenario <pb10|pb09|mn08|signature|quick>"
-               " [--seed N] --out FILE\n"
+               " [--seed N] [--threads N] --out FILE\n"
                "  btpub analyze FILE [--top N]\n"
                "  btpub export FILE OUT_DIR\n"
                "  btpub feed [--scenario NAME] [--seed N]\n");
@@ -55,6 +55,9 @@ struct Options {
   std::uint64_t seed = 42;
   std::string out;
   std::size_t top_n = 100;
+  /// Crawl worker threads; 0 = hardware concurrency. The dataset is
+  /// byte-identical for every value.
+  std::size_t threads = 0;
   std::vector<std::string> positional;
 };
 
@@ -74,6 +77,8 @@ Options parse_options(int argc, char** argv, int first) {
       options.out = next();
     } else if (arg == "--top") {
       options.top_n = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(next().c_str(), nullptr, 10);
     } else if (starts_with(arg, "--")) {
       throw std::invalid_argument("unknown option " + arg);
     } else {
@@ -88,7 +93,8 @@ int cmd_simulate(const Options& options) {
     std::fprintf(stderr, "simulate: --out FILE is required\n");
     return 1;
   }
-  const ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  config.crawler.threads = options.threads;
   std::fprintf(stderr, "building %s (seed %llu)...\n", config.name.c_str(),
                static_cast<unsigned long long>(config.seed));
   Ecosystem ecosystem(config);
