@@ -1,0 +1,195 @@
+// announce_perf — machine-readable perf baseline for the announce fast
+// path. Times the full steady-state announce round trip (struct-level
+// announce_into and, for reference, the HTTP-string shim) at several
+// thread counts and writes the numbers to a JSON file so CI can archive a
+// perf trajectory across PRs.
+//
+// Threading mirrors the crawler: the tracker is shared, every worker owns
+// its torrent (one swarm per thread — concurrent announces for the same
+// infohash are unsupported by the sweep) plus its reply/scratch buffers.
+//
+// Usage: announce_perf [--json PATH] [--iters N] [--peers N] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "tracker/tracker.hpp"
+
+namespace btpub {
+namespace {
+
+struct Options {
+  std::string json_path = "BENCH_announce.json";
+  // Per-thread announce count. 3000 fits inside one swarm lifetime at the
+  // enforced gap, so a client only has to rotate on wrap, like the crawl.
+  std::size_t iters = 60000;
+  std::size_t peers = 5000;
+};
+
+struct Result {
+  std::string mode;
+  std::size_t threads = 0;
+  std::size_t announces = 0;
+  double seconds = 0.0;
+  double ns_per_announce() const { return seconds * 1e9 / double(announces); }
+  double ops_per_sec() const { return double(announces) / seconds; }
+};
+
+Swarm make_swarm(const std::string& tag, std::size_t peers) {
+  Swarm swarm(Sha1::hash(tag), 1024, 0);
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    PeerSession s;
+    s.endpoint = Endpoint{IpAddress(0x0D000000 + i), 6881};
+    s.arrive = static_cast<SimTime>(i % 1000);
+    s.depart = days(30);
+    if (i % 7 == 0) s.complete_at = s.arrive + hours(2);
+    swarm.add_session(s);
+  }
+  swarm.finalize();
+  return swarm;
+}
+
+/// One worker's announce loop; `http` selects the wire-format shim.
+void run_worker(Tracker& tracker, const Sha1Digest& infohash,
+                std::uint32_t client_base, std::size_t iters, bool http) {
+  const SimDuration gap = tracker.enforced_gap() + kSecond;
+  AnnounceRequest request;
+  request.infohash = infohash;
+  request.client = Endpoint{IpAddress(client_base), 6881};
+  request.numwant = 200;
+  AnnounceReply reply;
+  Tracker::AnnounceScratch scratch;
+  SimTime now = hours(1);
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (now > days(29)) {  // fresh client before the rewind trips the limiter
+      now = hours(1);
+      request.client.ip = IpAddress(request.client.ip.value() + 1);
+    }
+    request.now = now;
+    now += gap;
+    if (http) {
+      reply = decode_announce_reply(tracker.handle_get(to_query_string(request)));
+    } else {
+      tracker.announce_into(request, reply, scratch);
+    }
+    if (reply.ok == (reply.peers.size() > 1u << 30)) std::abort();  // keep live
+  }
+}
+
+Result run_case(const std::string& mode, std::size_t threads,
+                const Options& opt) {
+  Tracker tracker(TrackerConfig{}, Rng(1));
+  std::vector<Swarm> swarms;
+  swarms.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    swarms.push_back(make_swarm("announce_perf_" + std::to_string(t), opt.peers));
+  }
+  for (Swarm& swarm : swarms) tracker.host_swarm(swarm);  // build-time only
+
+  const bool http = mode == "http";
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    run_worker(tracker, swarms[0].infohash(), 0x0E000000, opt.iters, http);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        run_worker(tracker, swarms[t].infohash(),
+                   0x0E000000 + static_cast<std::uint32_t>(t) * 0x10000,
+                   opt.iters, http);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Result r;
+  r.mode = mode;
+  r.threads = threads;
+  r.announces = opt.iters * threads;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const std::vector<Result>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "announce_perf: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"benchmark\": \"announce_round_trip\",\n";
+  out << "  \"config\": {\"peers_per_swarm\": " << opt.peers
+      << ", \"numwant\": 200, \"iters_per_thread\": " << opt.iters << "},\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"mode\": \"%s\", \"threads\": %zu, \"announces\": %zu, "
+                  "\"seconds\": %.4f, \"ns_per_announce\": %.1f, "
+                  "\"ops_per_sec\": %.0f}%s\n",
+                  r.mode.c_str(), r.threads, r.announces, r.seconds,
+                  r.ns_per_announce(), r.ops_per_sec(),
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "announce_perf: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--iters") {
+      opt.iters = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--peers") {
+      opt.peers = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--quick") {
+      opt.iters = 5000;
+    } else {
+      std::fprintf(stderr,
+                   "usage: announce_perf [--json PATH] [--iters N] [--peers N] "
+                   "[--quick]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw >= 8) thread_counts.push_back(8);
+
+  std::vector<Result> results;
+  for (const char* mode : {"struct", "http"}) {
+    for (const std::size_t threads : thread_counts) {
+      results.push_back(run_case(mode, threads, opt));
+      const Result& r = results.back();
+      std::printf("%-6s %2zu thread(s): %9.0f announces/s  (%.0f ns/announce)\n",
+                  r.mode.c_str(), r.threads, r.ops_per_sec(),
+                  r.ns_per_announce());
+    }
+  }
+  write_json(opt.json_path, opt, results);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace btpub
+
+int main(int argc, char** argv) { return btpub::run(argc, argv); }

@@ -21,8 +21,12 @@ std::unique_ptr<Ecosystem> build_ecosystem(const ScenarioConfig& config) {
 namespace {
 
 std::string cache_path(const ScenarioConfig& config) {
+  // The format version is part of the key: bumping the on-disk layout
+  // makes every stale btpub-cache/*.ds regenerate instead of silently
+  // deserializing (or choking on) old bytes.
   return cache_dir() + "/" + config.name + "_seed" + std::to_string(config.seed) +
-         "_w" + std::to_string(config.window / kDay) + ".ds";
+         "_w" + std::to_string(config.window / kDay) + "_v" +
+         std::to_string(dataset_format_version()) + ".ds";
 }
 
 }  // namespace

@@ -79,6 +79,91 @@ void BM_TrackerAnnounce(benchmark::State& state) {
 }
 BENCHMARK(BM_TrackerAnnounce)->Arg(100)->Arg(5000)->Arg(50000);
 
+// Full announce round trip exactly as the crawler's monitor loop issues it
+// post-fast-path: struct-level announce_into with per-worker scratch, no
+// query-string or bencode round trip. One client re-announcing at the
+// tracker's enforced gap (the steady-state pattern); time wraps before the
+// swarm dies, which re-runs the sweep rebuild slow path once per ~3K
+// iterations, just like BM_SwarmSweepAdvance.
+void BM_AnnounceRoundTrip(benchmark::State& state) {
+  Swarm swarm = make_swarm(static_cast<std::size_t>(state.range(0)));
+  Tracker tracker(TrackerConfig{}, Rng(1));
+  tracker.host_swarm(swarm);
+  const SimDuration gap = tracker.enforced_gap() + kSecond;
+  AnnounceRequest request;
+  request.infohash = swarm.infohash();
+  request.client = Endpoint{IpAddress(0x0E000001), 6881};
+  request.numwant = 200;
+  AnnounceReply reply;
+  Tracker::AnnounceScratch scratch;
+  SimTime now = hours(1);
+  for (auto _ : state) {
+    if (now > days(29)) {
+      // Fresh client on wrap, BEFORE taking the timestamp, so the rewound
+      // clock never pairs a stale last-query entry with an earlier time
+      // (which would read as a rate violation and eventually a blacklist).
+      now = hours(1);
+      request.client.ip = IpAddress(request.client.ip.value() + 1);
+    }
+    request.now = now;
+    now += gap;
+    tracker.announce_into(request, reply, scratch);
+    benchmark::DoNotOptimize(reply.peers.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnnounceRoundTrip)->Arg(100)->Arg(5000)->Arg(50000);
+
+// The same round trip through the wire-format shim (to_query_string →
+// handle_get → parse/encode → decode_announce_reply) — the pre-fast-path
+// crawler inner loop, kept as a benchmark so the strings-vs-structs gap
+// stays visible.
+void BM_AnnounceRoundTripHttp(benchmark::State& state) {
+  Swarm swarm = make_swarm(static_cast<std::size_t>(state.range(0)));
+  Tracker tracker(TrackerConfig{}, Rng(1));
+  tracker.host_swarm(swarm);
+  const SimDuration gap = tracker.enforced_gap() + kSecond;
+  AnnounceRequest request;
+  request.infohash = swarm.infohash();
+  request.client = Endpoint{IpAddress(0x0E000002), 6881};
+  request.numwant = 200;
+  SimTime now = hours(1);
+  for (auto _ : state) {
+    if (now > days(29)) {
+      now = hours(1);
+      request.client.ip = IpAddress(request.client.ip.value() + 1);
+    }
+    request.now = now;
+    now += gap;
+    const AnnounceReply reply =
+        decode_announce_reply(tracker.handle_get(to_query_string(request)));
+    benchmark::DoNotOptimize(reply.peers.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnnounceRoundTripHttp)->Arg(100)->Arg(5000)->Arg(50000);
+
+void BM_EncodeAnnounceReply(benchmark::State& state) {
+  AnnounceReply reply;
+  reply.ok = true;
+  reply.interval = minutes(12);
+  reply.complete = 17;
+  reply.incomplete = 183;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    reply.peers.push_back(Endpoint{IpAddress(0x0D000000 + i),
+                                   static_cast<std::uint16_t>(1024 + i)});
+  }
+  std::string buffer;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    encode_announce_reply_into(reply, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+    bytes += static_cast<std::int64_t>(buffer.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_EncodeAnnounceReply)->Arg(50)->Arg(200);
+
 void BM_SwarmSweepAdvance(benchmark::State& state) {
   Swarm swarm = make_swarm(50000);
   SimTime t = 0;

@@ -80,6 +80,34 @@ bool operator==(const Value& a, const Value& b) {
 
 namespace {
 
+/// Appends the decimal digits of `v` without going through std::to_string
+/// (keeps the writer allocation-free regardless of SSO limits).
+void append_decimal(std::int64_t v, std::string& out) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void Writer::integer(std::int64_t v) {
+  *out_ += 'i';
+  append_decimal(v, *out_);
+  *out_ += 'e';
+}
+
+void Writer::string_header(std::size_t n) {
+  append_decimal(static_cast<std::int64_t>(n), *out_);
+  *out_ += ':';
+}
+
+void Writer::string(std::string_view bytes) {
+  string_header(bytes.size());
+  out_->append(bytes);
+}
+
+namespace {
+
 void encode_into(const Value& v, std::string& out) {
   switch (v.type()) {
     case Value::Type::Integer:

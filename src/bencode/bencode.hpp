@@ -76,6 +76,40 @@ class Value {
   std::shared_ptr<Dict> dict_;
 };
 
+/// Streaming encoder that appends canonical bencoding directly into a
+/// caller-owned buffer — no Value tree, no intermediate strings. Once the
+/// buffer's capacity has grown to the steady-state reply size, encoding is
+/// allocation-free, which is what the tracker's announce fast path relies
+/// on. The writer does not validate nesting; callers are expected to emit
+/// well-formed sequences (dict keys in ascending byte order, every begin_*
+/// matched by an end).
+class Writer {
+ public:
+  /// Appends to `out`; the buffer is NOT cleared (callers that want a
+  /// fresh message clear it themselves and keep the capacity).
+  explicit Writer(std::string& out) : out_(&out) {}
+
+  void integer(std::int64_t v);
+  void string(std::string_view bytes);
+  /// Dict key — identical encoding to string(), named for call-site
+  /// clarity.
+  void key(std::string_view k) { string(k); }
+
+  /// Emits the "<n>:" header of a byte string whose n payload bytes the
+  /// caller will append directly to buffer() (e.g. a compact-peer blob
+  /// written in place).
+  void string_header(std::size_t n);
+
+  void begin_list() { *out_ += 'l'; }
+  void begin_dict() { *out_ += 'd'; }
+  void end() { *out_ += 'e'; }
+
+  std::string& buffer() noexcept { return *out_; }
+
+ private:
+  std::string* out_;
+};
+
 /// Serialises a value to its canonical bencoding.
 std::string encode(const Value& v);
 

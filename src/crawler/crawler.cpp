@@ -45,14 +45,17 @@ void Crawler::record_reply(const AnnounceReply& reply, TorrentRecord& record,
 
 void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
                             std::vector<SimTime>& sightings,
-                            std::unordered_set<IpAddress>& seen, SimTime now) {
+                            CrawlScratch& scratch, SimTime now) {
   AnnounceRequest request;
   request.infohash = record.infohash;
   request.client = vantage(0);
   request.numwant = config_.numwant;
   request.now = now;
-  const std::string body = tracker_->handle_get(to_query_string(request));
-  const AnnounceReply reply = decode_announce_reply(body);
+  // Struct-level announce: same observable reply as the HTTP string round
+  // trip (handle_get + decode), minus the encode/parse work — the golden
+  // response test pins the wire bytes the shim still produces.
+  tracker_->announce_into(request, scratch.reply, scratch.announce);
+  const AnnounceReply& reply = scratch.reply;
   record.first_seen = now;
   ++record.query_count;
   if (!reply.ok) return;
@@ -83,12 +86,12 @@ void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
       }
     }
   }
-  record_reply(reply, record, ips, sightings, seen, now);
+  record_reply(reply, record, ips, sightings, scratch.seen, now);
 }
 
 void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
-                      std::vector<SimTime>& sightings,
-                      std::unordered_set<IpAddress>& seen, SimTime hard_stop) {
+                      std::vector<SimTime>& sightings, CrawlScratch& scratch,
+                      SimTime hard_stop) {
   // Each vantage machine queries at the fastest allowed cadence; their
   // schedules are staggered so aggregated resolution is gap/vantage_points.
   const SimDuration gap = tracker_->enforced_gap() + kSecond;
@@ -111,11 +114,11 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
     request.client = vantage(machine);
     request.numwant = config_.numwant;
     request.now = now;
-    const AnnounceReply reply = decode_announce_reply(
-        tracker_->handle_get(to_query_string(request)));
+    tracker_->announce_into(request, scratch.reply, scratch.announce);
+    const AnnounceReply& reply = scratch.reply;
     ++record.query_count;
     if (reply.ok) {
-      record_reply(reply, record, ips, sightings, seen, now);
+      record_reply(reply, record, ips, sightings, scratch.seen, now);
       if (reply.peers.empty()) {
         if (++consecutive_empty >= config_.empty_replies_to_stop) break;
       } else {
@@ -137,13 +140,13 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
 std::optional<TorrentRecord> Crawler::discover(TorrentId id, SimTime now,
                                                std::vector<IpAddress>& downloaders,
                                                std::vector<SimTime>& sightings) {
-  std::unordered_set<IpAddress> seen;
-  return discover_with(id, now, downloaders, sightings, seen);
+  CrawlScratch scratch;
+  return discover_with(id, now, downloaders, sightings, scratch);
 }
 
 std::optional<TorrentRecord> Crawler::discover_with(
     TorrentId id, SimTime now, std::vector<IpAddress>& downloaders,
-    std::vector<SimTime>& sightings, std::unordered_set<IpAddress>& seen) {
+    std::vector<SimTime>& sightings, CrawlScratch& scratch) {
   const auto page = portal_->page(id, now);
   if (!page || page->removed) return std::nullopt;
   const auto torrent_bytes = portal_->fetch_torrent(id, now);
@@ -171,13 +174,15 @@ std::optional<TorrentRecord> Crawler::discover_with(
     record.payload_filenames.push_back(f.path);
   }
 
-  first_contact(record, downloaders, sightings, seen, now);
+  first_contact(record, downloaders, sightings, scratch, now);
   return record;
 }
 
 Crawler::CrawlResult Crawler::crawl_one(TorrentId id, SimTime published_at,
-                                        SimTime window_end) {
+                                        SimTime window_end,
+                                        CrawlScratch& scratch) {
   CrawlResult result;
+  scratch.seen.clear();  // per-torrent dedup; capacity is kept
   // Per-torrent substream: the jitter (and any future per-torrent draw)
   // depends only on (seed, portal id), never on how many torrents were
   // crawled before this one or on which worker runs it.
@@ -190,13 +195,12 @@ Crawler::CrawlResult Crawler::crawl_one(TorrentId id, SimTime published_at,
   const SimTime discovery =
       poll_tick + static_cast<SimDuration>(rng.uniform_int(5, 60));
 
-  std::unordered_set<IpAddress> seen;
   auto record = discover_with(id, discovery, result.downloaders,
-                              result.sightings, seen);
+                              result.sightings, scratch);
   if (!record) return result;  // removed before we could fetch it
 
   if (config_.style != DatasetStyle::Pb09) {
-    monitor(*record, result.downloaders, result.sightings, seen,
+    monitor(*record, result.downloaders, result.sightings, scratch,
             window_end + config_.grace);
   }
   result.record = std::move(*record);
@@ -239,9 +243,10 @@ Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
   std::vector<CrawlResult> results(candidates.size());
   const std::size_t n_threads = ThreadPool::resolve_threads(config_.threads);
   if (n_threads <= 1 || candidates.size() <= 1) {
+    CrawlScratch scratch;  // one warm scratch for the whole window
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      results[i] =
-          crawl_one(candidates[i].id, candidates[i].published_at, window_end);
+      results[i] = crawl_one(candidates[i].id, candidates[i].published_at,
+                             window_end, scratch);
     }
   } else {
     ThreadPool pool(n_threads);
@@ -249,7 +254,12 @@ Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
     futures.reserve(candidates.size());
     for (const Candidate& candidate : candidates) {
       futures.push_back(pool.submit([this, candidate, window_end] {
-        return crawl_one(candidate.id, candidate.published_at, window_end);
+        // One scratch per pool thread, reused across every torrent that
+        // worker picks up. Scratch never influences results, so which
+        // worker crawls which torrent stays irrelevant to the output.
+        thread_local CrawlScratch scratch;
+        return crawl_one(candidate.id, candidate.published_at, window_end,
+                         scratch);
       }));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {

@@ -89,26 +89,39 @@ class Crawler {
     bool ok = false;
   };
 
+  /// Per-worker reusable state for the announce fast path: the decoded
+  /// reply, the tracker's sampling scratch and the per-torrent seen-IP
+  /// dedup set all keep their capacity across torrents, so the monitor
+  /// loop's inner announce is allocation-free at steady state. Owned by
+  /// exactly one worker; `seen` is cleared at the start of each torrent.
+  struct CrawlScratch {
+    AnnounceReply reply;
+    Tracker::AnnounceScratch announce;
+    std::unordered_set<IpAddress> seen;
+  };
+
   /// Full per-torrent crawl (discovery + monitoring). Pure function of
   /// (id, published_at, window_end) given the construction-time seed —
-  /// safe to run concurrently for distinct ids.
-  CrawlResult crawl_one(TorrentId id, SimTime published_at, SimTime window_end);
+  /// safe to run concurrently for distinct ids as long as each worker owns
+  /// its scratch.
+  CrawlResult crawl_one(TorrentId id, SimTime published_at, SimTime window_end,
+                        CrawlScratch& scratch);
 
-  /// Discovery with an externally-owned dedup set (so monitoring can keep
-  /// extending it).
+  /// Discovery with externally-owned scratch (so monitoring can keep
+  /// extending the dedup set).
   std::optional<TorrentRecord> discover_with(TorrentId id, SimTime now,
                                              std::vector<IpAddress>& downloaders,
                                              std::vector<SimTime>& sightings,
-                                             std::unordered_set<IpAddress>& seen);
+                                             CrawlScratch& scratch);
 
   /// First tracker contact + (conditional) initial-seeder identification.
   void first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
-                     std::vector<SimTime>& sightings,
-                     std::unordered_set<IpAddress>& seen, SimTime now);
+                     std::vector<SimTime>& sightings, CrawlScratch& scratch,
+                     SimTime now);
   /// Periodic monitoring until the empty-reply stop rule fires.
   void monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
-               std::vector<SimTime>& sightings,
-               std::unordered_set<IpAddress>& seen, SimTime hard_stop);
+               std::vector<SimTime>& sightings, CrawlScratch& scratch,
+               SimTime hard_stop);
   Endpoint vantage(std::size_t index) const;
   /// Dedup-inserts the peers of a reply; records publisher sightings.
   void record_reply(const AnnounceReply& reply, TorrentRecord& record,

@@ -11,7 +11,11 @@
 namespace btpub {
 namespace {
 
-constexpr char kMagic[8] = {'B', 'T', 'P', 'U', 'B', 'D', 'S', '3'};
+// Bump kFormatVersion (and only it) on any layout change; the magic and
+// the cache keys derived from dataset_format_version() follow.
+constexpr int kFormatVersion = 3;
+constexpr char kMagic[8] = {'B', 'T', 'P', 'U', 'B', 'D',
+                            'S', static_cast<char>('0' + kFormatVersion)};
 
 void write_bytes(std::ostream& out, const void* data, std::size_t size) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
@@ -200,6 +204,8 @@ Dataset load_dataset(const std::string& path) {
   if (!in) throw std::runtime_error("dataset_io: cannot open " + path);
   return load_dataset(in);
 }
+
+int dataset_format_version() noexcept { return kFormatVersion; }
 
 Dataset load_or_generate(const std::string& path,
                          const std::function<Dataset()>& generate) {

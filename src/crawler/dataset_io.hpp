@@ -31,4 +31,9 @@ Dataset load_dataset(const std::string& path);
 Dataset load_or_generate(const std::string& path,
                          const std::function<Dataset()>& generate);
 
+/// The on-disk format version baked into the file magic. Cache-key
+/// builders include it so stale cache files are regenerated instead of
+/// silently deserializing an old layout.
+int dataset_format_version() noexcept;
+
 }  // namespace btpub

@@ -4,18 +4,21 @@
 
 namespace btpub {
 
+void append_compact_peer(std::string& out, const Endpoint& peer) {
+  const std::uint32_t ip = peer.ip.value();
+  const char bytes[6] = {static_cast<char>((ip >> 24) & 0xff),
+                         static_cast<char>((ip >> 16) & 0xff),
+                         static_cast<char>((ip >> 8) & 0xff),
+                         static_cast<char>(ip & 0xff),
+                         static_cast<char>((peer.port >> 8) & 0xff),
+                         static_cast<char>(peer.port & 0xff)};
+  out.append(bytes, sizeof bytes);
+}
+
 std::string encode_compact_peers(std::span<const Endpoint> peers) {
   std::string out;
   out.reserve(peers.size() * 6);
-  for (const Endpoint& p : peers) {
-    const std::uint32_t ip = p.ip.value();
-    out.push_back(static_cast<char>((ip >> 24) & 0xff));
-    out.push_back(static_cast<char>((ip >> 16) & 0xff));
-    out.push_back(static_cast<char>((ip >> 8) & 0xff));
-    out.push_back(static_cast<char>(ip & 0xff));
-    out.push_back(static_cast<char>((p.port >> 8) & 0xff));
-    out.push_back(static_cast<char>(p.port & 0xff));
-  }
+  for (const Endpoint& p : peers) append_compact_peer(out, p);
   return out;
 }
 

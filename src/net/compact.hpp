@@ -11,6 +11,11 @@
 
 namespace btpub {
 
+/// Appends one peer's 6-byte compact form to `out` in place (the
+/// announce fast path writes the peers blob directly into the reply
+/// buffer instead of building an intermediate string).
+void append_compact_peer(std::string& out, const Endpoint& peer);
+
 /// Encodes endpoints into a compact peers byte string.
 std::string encode_compact_peers(std::span<const Endpoint> peers);
 

@@ -15,10 +15,10 @@ std::string IpAddress::to_string() const {
 }
 
 std::optional<IpAddress> IpAddress::parse(std::string_view text) {
-  const auto parts = split(text, '.');
+  const auto parts = split_views(text, '.');
   if (parts.size() != 4) return std::nullopt;
   std::uint32_t value = 0;
-  for (const auto& part : parts) {
+  for (const std::string_view part : parts) {
     if (part.empty() || part.size() > 3) return std::nullopt;
     unsigned octet = 0;
     const auto res = std::from_chars(part.data(), part.data() + part.size(), octet);

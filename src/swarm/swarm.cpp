@@ -8,6 +8,19 @@
 
 namespace btpub {
 
+namespace {
+
+std::size_t count_distinct_downloader_ips(
+    const std::vector<PeerSession>& sessions) {
+  std::unordered_set<IpAddress> ips;
+  for (const PeerSession& s : sessions) {
+    if (!s.is_publisher) ips.insert(s.endpoint.ip);
+  }
+  return ips.size();
+}
+
+}  // namespace
+
 Swarm::Swarm(Sha1Digest infohash, std::size_t n_pieces, SimTime birth)
     : infohash_(infohash), n_pieces_(n_pieces == 0 ? 1 : n_pieces), birth_(birth) {}
 
@@ -36,6 +49,7 @@ void Swarm::finalize() {
     if (a.kind != b.kind) return a.kind < b.kind;
     return a.session < b.session;
   });
+  distinct_downloader_ips_ = count_distinct_downloader_ips(sessions_);
   rebuild_sweep();
 }
 
@@ -96,27 +110,41 @@ SwarmCounts Swarm::counts_at(SimTime t) {
 
 std::vector<const PeerSession*> Swarm::sample_peers(SimTime t, std::size_t k,
                                                     Rng& rng) {
-  advance_to(t);
   std::vector<const PeerSession*> out;
+  SampleScratch scratch;
+  sample_peers(t, k, rng, out, scratch);
+  return out;
+}
+
+void Swarm::sample_peers(SimTime t, std::size_t k, Rng& rng,
+                         std::vector<const PeerSession*>& out,
+                         SampleScratch& scratch) {
+  advance_to(t);
+  out.clear();
   const std::size_t n = present_.size();
-  if (n == 0 || k == 0) return out;
+  if (n == 0 || k == 0) return;
   if (k >= n) {
     out.reserve(n);
     for (std::uint32_t idx : present_) out.push_back(&sessions_[idx]);
-    return out;
+    return;
   }
   // Floyd's algorithm: k distinct uniform indices in O(k) expected time.
-  std::unordered_set<std::size_t> chosen;
-  chosen.reserve(k * 2);
+  // Membership lives in a reused flat vector (a linear scan over <= k
+  // small integers beats per-node hash-set allocation at announce sizes);
+  // the draw sequence and output order are identical to the hash-set
+  // formulation, which announce-reply byte-identity depends on.
+  std::vector<std::uint32_t>& chosen = scratch.chosen;
+  chosen.clear();
   out.reserve(k);
   for (std::size_t j = n - k; j < n; ++j) {
-    const std::size_t r = static_cast<std::size_t>(
+    const auto r = static_cast<std::uint32_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(j)));
-    const std::size_t pick = chosen.insert(r).second ? r : j;
-    if (pick != r) chosen.insert(pick);
+    const bool fresh =
+        std::find(chosen.begin(), chosen.end(), r) == chosen.end();
+    const std::uint32_t pick = fresh ? r : static_cast<std::uint32_t>(j);
+    chosen.push_back(pick);
     out.push_back(&sessions_[present_[pick]]);
   }
-  return out;
 }
 
 std::vector<const PeerSession*> Swarm::peers_at(SimTime t) {
@@ -165,11 +193,8 @@ Bitfield Swarm::bitfield_at(const PeerSession& session, SimTime t) const {
 }
 
 std::size_t Swarm::distinct_downloader_ips() const {
-  std::unordered_set<IpAddress> ips;
-  for (const PeerSession& s : sessions_) {
-    if (!s.is_publisher) ips.insert(s.endpoint.ip);
-  }
-  return ips.size();
+  if (finalized_) return distinct_downloader_ips_;
+  return count_distinct_downloader_ips(sessions_);
 }
 
 }  // namespace btpub

@@ -70,8 +70,21 @@ class Swarm {
   /// t; a backwards jump rewinds by rebuilding the sweep (slow path).
   SwarmCounts counts_at(SimTime t);
 
+  /// Reusable scratch for sample_peers: holding onto one instance across
+  /// queries makes steady-state sampling allocation-free (the announce
+  /// fast path threads one through Tracker::announce_into).
+  struct SampleScratch {
+    std::vector<std::uint32_t> chosen;  // Floyd membership, |chosen| <= k
+  };
+
   /// Uniform sample (without replacement) of at most k present sessions.
   std::vector<const PeerSession*> sample_peers(SimTime t, std::size_t k, Rng& rng);
+
+  /// Same draw (identical RNG consumption and output order — byte-identity
+  /// of announce replies depends on it), but writes into caller-owned
+  /// storage. `out` is cleared first; both vectors keep their capacity.
+  void sample_peers(SimTime t, std::size_t k, Rng& rng,
+                    std::vector<const PeerSession*>& out, SampleScratch& scratch);
 
   /// All sessions present at t (used when the swarm is small).
   std::vector<const PeerSession*> peers_at(SimTime t);
@@ -90,7 +103,8 @@ class Swarm {
   SimTime last_departure() const noexcept { return last_departure_; }
 
   /// Ground truth: number of distinct downloader IPs (excludes publisher
-  /// sessions). Used only by validation benches.
+  /// sessions). Cached at finalize() — validation benches call this once
+  /// per torrent and must not rebuild an IP set every time.
   std::size_t distinct_downloader_ips() const;
 
  private:
@@ -111,6 +125,7 @@ class Swarm {
   std::vector<Event> events_;
   bool finalized_ = false;
   SimTime last_departure_ = 0;
+  std::size_t distinct_downloader_ips_ = 0;
 
   // Sweep state.
   std::size_t next_event_ = 0;

@@ -20,16 +20,16 @@ std::optional<MagnetLink> MagnetLink::parse(std::string_view uri) {
   if (!starts_with(uri, kScheme)) return std::nullopt;
   MagnetLink link;
   bool have_hash = false;
-  for (const std::string& pair : split(uri.substr(kScheme.size()), '&')) {
+  for (const std::string_view pair : split_views(uri.substr(kScheme.size()), '&')) {
     const std::size_t eq = pair.find('=');
-    if (eq == std::string::npos) return std::nullopt;
-    const std::string key = pair.substr(0, eq);
-    const std::string raw = pair.substr(eq + 1);
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view raw = pair.substr(eq + 1);
     try {
       if (key == "xt") {
         static constexpr std::string_view kUrn = "urn:btih:";
         if (!starts_with(raw, kUrn)) return std::nullopt;
-        const std::string hex = raw.substr(kUrn.size());
+        const std::string_view hex = raw.substr(kUrn.size());
         if (hex.size() != 40) return std::nullopt;
         link.infohash = Sha1Digest::from_hex(hex);
         // from_hex yields the zero digest on bad input; reject unless the

@@ -43,8 +43,8 @@ bencode::Value build_info_dict(const std::string& name, std::int64_t piece_lengt
     bencode::List file_list;
     for (const FileEntry& f : files) {
       bencode::List path_parts;
-      for (const std::string& part : split(f.path, '/')) {
-        path_parts.emplace_back(part);
+      for (const std::string_view part : split_views(f.path, '/')) {
+        path_parts.emplace_back(std::string(part));
       }
       bencode::Dict fd;
       fd.emplace("length", f.length);

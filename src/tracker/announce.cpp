@@ -25,61 +25,75 @@ std::optional<AnnounceRequest> parse_query_string(std::string_view query) {
   if (qmark == std::string_view::npos) return std::nullopt;
   AnnounceRequest req;
   bool have_hash = false, have_ip = false, have_port = false;
-  for (const std::string& pair : split(query.substr(qmark + 1), '&')) {
+  for (const std::string_view pair : split_views(query.substr(qmark + 1), '&')) {
     const auto eq = pair.find('=');
-    if (eq == std::string::npos) return std::nullopt;
-    const std::string key = pair.substr(0, eq);
-    const std::string raw = pair.substr(eq + 1);
-    try {
-      if (key == "info_hash") {
-        const std::string bytes = url_unescape(raw);
-        if (bytes.size() != 20) return std::nullopt;
-        for (std::size_t i = 0; i < 20; ++i) {
-          req.infohash.bytes[i] = static_cast<std::uint8_t>(bytes[i]);
-        }
-        have_hash = true;
-      } else if (key == "ip") {
-        const auto ip = IpAddress::parse(raw);
-        if (!ip) return std::nullopt;
-        req.client.ip = *ip;
-        have_ip = true;
-      } else if (key == "port") {
-        unsigned port = 0;
-        const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), port);
-        if (res.ec != std::errc{} || port > 65535) return std::nullopt;
-        req.client.port = static_cast<std::uint16_t>(port);
-        have_port = true;
-      } else if (key == "numwant") {
-        std::size_t numwant = 0;
-        const auto res =
-            std::from_chars(raw.data(), raw.data() + raw.size(), numwant);
-        if (res.ec != std::errc{}) return std::nullopt;
-        req.numwant = numwant;
-      } else if (key == "t") {
-        SimTime t = 0;
-        const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), t);
-        if (res.ec != std::errc{}) return std::nullopt;
-        req.now = t;
-      }
-    } catch (const std::invalid_argument&) {
-      return std::nullopt;
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view raw = pair.substr(eq + 1);
+    if (key == "info_hash") {
+      // In-place unescape into the fixed 20-byte digest — no temporary
+      // string and no exceptions on the hot parse path.
+      const auto n = url_unescape_into(
+          raw, reinterpret_cast<char*>(req.infohash.bytes.data()),
+          req.infohash.bytes.size());
+      if (!n || *n != req.infohash.bytes.size()) return std::nullopt;
+      have_hash = true;
+    } else if (key == "ip") {
+      const auto ip = IpAddress::parse(raw);
+      if (!ip) return std::nullopt;
+      req.client.ip = *ip;
+      have_ip = true;
+    } else if (key == "port") {
+      unsigned port = 0;
+      const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), port);
+      if (res.ec != std::errc{} || port > 65535) return std::nullopt;
+      req.client.port = static_cast<std::uint16_t>(port);
+      have_port = true;
+    } else if (key == "numwant") {
+      std::size_t numwant = 0;
+      const auto res =
+          std::from_chars(raw.data(), raw.data() + raw.size(), numwant);
+      if (res.ec != std::errc{}) return std::nullopt;
+      req.numwant = numwant;
+    } else if (key == "t") {
+      SimTime t = 0;
+      const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), t);
+      if (res.ec != std::errc{}) return std::nullopt;
+      req.now = t;
     }
   }
   if (!have_hash || !have_ip || !have_port) return std::nullopt;
   return req;
 }
 
-std::string encode_announce_reply(const AnnounceReply& reply) {
-  bencode::Dict dict;
+void encode_announce_reply_into(const AnnounceReply& reply, std::string& out) {
+  out.clear();
+  bencode::Writer writer(out);
+  writer.begin_dict();
   if (!reply.ok) {
-    dict.emplace("failure reason", reply.failure_reason);
-    return bencode::encode(bencode::Value(std::move(dict)));
+    writer.key("failure reason");
+    writer.string(reply.failure_reason);
+    writer.end();
+    return;
   }
-  dict.emplace("interval", static_cast<std::int64_t>(reply.interval));
-  dict.emplace("complete", static_cast<std::int64_t>(reply.complete));
-  dict.emplace("incomplete", static_cast<std::int64_t>(reply.incomplete));
-  dict.emplace("peers", encode_compact_peers(reply.peers));
-  return bencode::encode(bencode::Value(std::move(dict)));
+  // Keys in ascending byte order — the canonical-dict encoding the
+  // tree-based encoder produced via std::map.
+  writer.key("complete");
+  writer.integer(static_cast<std::int64_t>(reply.complete));
+  writer.key("incomplete");
+  writer.integer(static_cast<std::int64_t>(reply.incomplete));
+  writer.key("interval");
+  writer.integer(static_cast<std::int64_t>(reply.interval));
+  writer.key("peers");
+  writer.string_header(reply.peers.size() * 6);
+  for (const Endpoint& peer : reply.peers) append_compact_peer(out, peer);
+  writer.end();
+}
+
+std::string encode_announce_reply(const AnnounceReply& reply) {
+  std::string out;
+  encode_announce_reply_into(reply, out);
+  return out;
 }
 
 AnnounceReply decode_announce_reply(std::string_view bytes) {

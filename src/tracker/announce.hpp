@@ -39,11 +39,17 @@ struct AnnounceReply {
 /// Renders "/announce?info_hash=...&ip=...&port=...&numwant=...".
 std::string to_query_string(const AnnounceRequest& request);
 /// Parses a query string produced by to_query_string. nullopt when any
-/// required field is missing or malformed.
+/// required field is missing or malformed. Duplicate keys follow
+/// last-one-wins semantics (matching common tracker behaviour).
 std::optional<AnnounceRequest> parse_query_string(std::string_view query);
 
 /// Bencodes a reply (success or failure form).
 std::string encode_announce_reply(const AnnounceReply& reply);
+/// Same encoding, but clears `out` and writes into it so the caller can
+/// reuse one buffer across queries. The emitted bytes are identical to
+/// encode_announce_reply — byte-identity of announce responses is part of
+/// the protocol contract (see DESIGN.md, "Announce fast path").
+void encode_announce_reply_into(const AnnounceReply& reply, std::string& out);
 /// Parses a bencoded reply. Throws bencode::Error on malformed bytes.
 AnnounceReply decode_announce_reply(std::string_view bytes);
 

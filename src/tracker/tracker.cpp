@@ -61,19 +61,36 @@ Tracker::Stats Tracker::stats() const {
 std::string Tracker::handle_get(std::string_view query_string) {
   const auto request = parse_query_string(query_string);
   AnnounceReply reply;
+  std::string body;
   if (!request) {
     reply.ok = false;
     reply.failure_reason = "malformed request";
-    return encode_announce_reply(reply);
+    encode_announce_reply_into(reply, body);
+    return body;
   }
-  return encode_announce_reply(announce(*request));
+  AnnounceScratch scratch;
+  announce_into(*request, reply, scratch);
+  encode_announce_reply_into(reply, body);
+  return body;
 }
 
 AnnounceReply Tracker::announce(const AnnounceRequest& request) {
+  AnnounceReply reply;
+  AnnounceScratch scratch;
+  announce_into(request, reply, scratch);
+  return reply;
+}
+
+void Tracker::announce_into(const AnnounceRequest& request, AnnounceReply& reply,
+                            AnnounceScratch& scratch) {
   const std::uint32_t client_ip = request.client.ip.value();
   Shard& shard = shard_for(client_ip);
-  AnnounceReply reply;
+  reply.ok = false;
+  reply.failure_reason.clear();
   reply.interval = enforced_gap_;
+  reply.complete = 0;
+  reply.incomplete = 0;
+  reply.peers.clear();
 
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -81,9 +98,8 @@ AnnounceReply Tracker::announce(const AnnounceRequest& request) {
 
     if (shard.blacklist.contains(client_ip)) {
       ++shard.stats.rejected_blacklist;
-      reply.ok = false;
       reply.failure_reason = "client banned";
-      return reply;
+      return;
     }
 
     const ClientKey key{client_ip, request.infohash};
@@ -95,9 +111,8 @@ AnnounceReply Tracker::announce(const AnnounceRequest& request) {
       if (++count >= config_.blacklist_after) {
         shard.blacklist.insert(client_ip);
       }
-      reply.ok = false;
       reply.failure_reason = "slow down";
-      return reply;
+      return;
     }
     shard.last_query[key] = request.now;
   }
@@ -106,9 +121,8 @@ AnnounceReply Tracker::announce(const AnnounceRequest& request) {
   if (it == swarms_.end()) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.stats.rejected_unknown;
-    reply.ok = false;
     reply.failure_reason = "unregistered torrent";
-    return reply;
+    return;
   }
 
   Swarm& swarm = *it->second;
@@ -123,11 +137,12 @@ AnnounceReply Tracker::announce(const AnnounceRequest& request) {
       sample_seed_,
       static_cast<std::uint64_t>(std::hash<Sha1Digest>{}(request.infohash)),
       static_cast<std::uint64_t>(request.now), client_ip));
-  for (const PeerSession* session :
-       swarm.sample_peers(request.now, want, sample_rng)) {
+  swarm.sample_peers(request.now, want, sample_rng, scratch.sampled,
+                     scratch.sample);
+  reply.peers.reserve(scratch.sampled.size());
+  for (const PeerSession* session : scratch.sampled) {
     reply.peers.push_back(session->endpoint);
   }
-  return reply;
 }
 
 std::string Tracker::scrape(const Sha1Digest& infohash, SimTime now) {

@@ -64,13 +64,31 @@ class Tracker {
   bool hosts(const Sha1Digest& infohash) const;
   std::size_t swarm_count() const noexcept { return swarms_.size(); }
 
+  /// Reusable per-caller scratch for the announce fast path. Each crawl
+  /// worker owns one; the tracker never stores state in it beyond the
+  /// duration of one announce_into call. See DESIGN.md, "Announce fast
+  /// path", for the ownership rules.
+  struct AnnounceScratch {
+    std::vector<const PeerSession*> sampled;
+    Swarm::SampleScratch sample;
+  };
+
   /// Full protocol round trip: takes the bencoded-over-HTTP GET query
-  /// string, returns the bencoded response body.
+  /// string, returns the bencoded response body. Thin shim over
+  /// announce_into kept for protocol-level tests and wire-format callers.
   std::string handle_get(std::string_view query_string);
 
   /// Struct-level announce (used by simulator-internal callers and by
   /// handle_get). Applies rate limiting and blacklisting.
   AnnounceReply announce(const AnnounceRequest& request);
+
+  /// The steady-state fast path: identical semantics to announce(), but
+  /// writes into a caller-owned reply (whose peers vector is cleared, not
+  /// shrunk) and samples through caller-owned scratch — allocation-free
+  /// once reply/scratch capacities have warmed up. All reply fields are
+  /// overwritten; nothing from a previous query leaks through.
+  void announce_into(const AnnounceRequest& request, AnnounceReply& reply,
+                     AnnounceScratch& scratch);
 
   /// Scrape: bencoded per-infohash {complete, incomplete} counters at
   /// time `now`.

@@ -22,6 +22,27 @@ std::vector<std::string> split(std::string_view s, char sep) {
   }
 }
 
+void split_views(std::string_view s, char sep,
+                 std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_views(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  split_views(s, sep, out);
+  return out;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -110,6 +131,27 @@ std::string url_unescape(std::string_view text) {
     i += 2;
   }
   return out;
+}
+
+std::optional<std::size_t> url_unescape_into(std::string_view text, char* out,
+                                             std::size_t capacity) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char decoded;
+    if (text[i] != '%') {
+      decoded = text[i];
+    } else {
+      if (i + 2 >= text.size()) return std::nullopt;
+      const int hi = url_hex_value(text[i + 1]);
+      const int lo = url_hex_value(text[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      decoded = static_cast<char>((hi << 4) | lo);
+      i += 2;
+    }
+    if (n >= capacity) return std::nullopt;
+    out[n++] = decoded;
+  }
+  return n;
 }
 
 std::string format_double(double v, int decimals) {

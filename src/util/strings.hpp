@@ -1,6 +1,8 @@
 // strings.hpp — small string utilities shared across modules.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +11,15 @@ namespace btpub {
 
 /// Splits on a single character; empty fields are preserved.
 std::vector<std::string> split(std::string_view s, char sep);
+
+/// Like split, but the fields are views into `s` — no per-field copies.
+/// The views are only valid while the underlying buffer is.
+std::vector<std::string_view> split_views(std::string_view s, char sep);
+
+/// Appends the fields of `s` split on `sep` to `out` (which is cleared
+/// first). Reusing one vector across calls makes repeated parsing
+/// allocation-free once its capacity has grown.
+void split_views(std::string_view s, char sep, std::vector<std::string_view>& out);
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
@@ -25,6 +36,12 @@ std::string_view trim(std::string_view s);
 std::string url_escape(std::string_view bytes);
 /// Inverse of url_escape; throws std::invalid_argument on malformed input.
 std::string url_unescape(std::string_view text);
+
+/// Non-throwing url_unescape into a caller-provided buffer (e.g. a fixed
+/// 20-byte info_hash). Returns the decoded length, or nullopt when the
+/// input is malformed or decodes to more than `capacity` bytes.
+std::optional<std::size_t> url_unescape_into(std::string_view text, char* out,
+                                             std::size_t capacity);
 
 /// printf-lite double formatting with fixed decimals.
 std::string format_double(double v, int decimals);

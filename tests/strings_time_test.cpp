@@ -27,6 +27,50 @@ TEST(Split, NoSeparator) {
   EXPECT_EQ(parts[0], "abc");
 }
 
+TEST(SplitViews, MatchesSplitSemantics) {
+  for (const char* input : {"a,b,c", "a,,c,", "abc", "", ",", ",,"}) {
+    const auto strings = split(input, ',');
+    const auto views = split_views(input, ',');
+    ASSERT_EQ(strings.size(), views.size()) << input;
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+      EXPECT_EQ(strings[i], views[i]) << input;
+    }
+  }
+}
+
+TEST(SplitViews, ViewsAliasTheInputBuffer) {
+  const std::string backing = "key=value&key2=value2";
+  const auto views = split_views(backing, '&');
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].data(), backing.data());  // no copy, just a window
+  EXPECT_EQ(views[1], "key2=value2");
+}
+
+TEST(SplitViews, ReusedVectorIsClearedFirst) {
+  std::vector<std::string_view> out;
+  split_views("a,b,c", ',', out);
+  ASSERT_EQ(out.size(), 3u);
+  split_views("x", ',', out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "x");
+}
+
+TEST(UrlUnescapeInto, DecodesWithinCapacity) {
+  char buf[20];
+  const auto n = url_unescape_into("abc%20def", buf, sizeof buf);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(std::string_view(buf, *n), "abc def");
+}
+
+TEST(UrlUnescapeInto, RejectsMalformedAndOverflow) {
+  char buf[4];
+  EXPECT_FALSE(url_unescape_into("%", buf, sizeof buf).has_value());
+  EXPECT_FALSE(url_unescape_into("%f", buf, sizeof buf).has_value());
+  EXPECT_FALSE(url_unescape_into("%zz", buf, sizeof buf).has_value());
+  EXPECT_FALSE(url_unescape_into("12345", buf, sizeof buf).has_value());
+  EXPECT_TRUE(url_unescape_into("%31%32%33%34", buf, sizeof buf).has_value());
+}
+
 TEST(Join, RoundTripsSplit) {
   const std::vector<std::string> parts{"x", "y", "z"};
   EXPECT_EQ(join(parts, "/"), "x/y/z");

@@ -202,6 +202,83 @@ TEST(AnnounceWire, QueryStringMissingFieldsRejected) {
                    .has_value());
 }
 
+TEST(AnnounceWire, QueryStringDuplicateKeysLastWins) {
+  const std::string hash_a = url_escape(std::string(20, 'a'));
+  const std::string hash_b = url_escape(std::string(20, 'b'));
+  const auto parsed = parse_query_string(
+      "/announce?info_hash=" + hash_a + "&info_hash=" + hash_b +
+      "&ip=1.2.3.4&ip=5.6.7.8&port=10&port=20&numwant=5&numwant=7");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->infohash.bytes[0], static_cast<std::uint8_t>('b'));
+  EXPECT_EQ(parsed->client.ip, IpAddress(5, 6, 7, 8));
+  EXPECT_EQ(parsed->client.port, 20);
+  EXPECT_EQ(parsed->numwant, 7u);
+}
+
+TEST(AnnounceWire, QueryStringMalformedHashEscapesRejected) {
+  // Bad hex digits, truncated escape, and an escape that decodes short.
+  EXPECT_FALSE(
+      parse_query_string("/announce?info_hash=%zz" + url_escape(std::string(18, 'x')) +
+                         "&ip=1.2.3.4&port=1")
+          .has_value());
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" +
+                                  url_escape(std::string(19, 'x')) +
+                                  "%4&ip=1.2.3.4&port=1")
+                   .has_value());
+  // 21 decoded bytes: one too many for a SHA-1 digest.
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" +
+                                  url_escape(std::string(21, 'x')) +
+                                  "&ip=1.2.3.4&port=1")
+                   .has_value());
+}
+
+TEST(AnnounceWire, QueryStringOutOfRangePortRejected) {
+  const std::string hash = url_escape(std::string(20, 'x'));
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=65536")
+                   .has_value());
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=-1")
+                   .has_value());
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=")
+                   .has_value());
+  const auto max_port = parse_query_string("/announce?info_hash=" + hash +
+                                           "&ip=1.2.3.4&port=65535");
+  ASSERT_TRUE(max_port.has_value());
+  EXPECT_EQ(max_port->client.port, 65535);
+}
+
+TEST(AnnounceWire, QueryStringMissingTimestampDefaultsToZero) {
+  // `t` carries the simulated clock in-band; a query without it is still
+  // well-formed and lands at t=0 (a real tracker would use wall time).
+  const auto parsed = parse_query_string(
+      "/announce?info_hash=" + url_escape(std::string(20, 'x')) +
+      "&ip=1.2.3.4&port=6881");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->now, 0);
+  EXPECT_EQ(parsed->numwant, 200u);  // default when absent
+}
+
+TEST(AnnounceWire, QueryStringMalformedPairsRejected) {
+  const std::string hash = url_escape(std::string(20, 'x'));
+  // A pair without '=' poisons the whole query.
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=1&junk")
+                   .has_value());
+  // Non-numeric numwant / t are rejected rather than ignored.
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=1&numwant=abc")
+                   .has_value());
+  EXPECT_FALSE(parse_query_string("/announce?info_hash=" + hash +
+                                  "&ip=1.2.3.4&port=1&t=abc")
+                   .has_value());
+  // Unknown keys are tolerated (real clients send peer_id, event, ...).
+  EXPECT_TRUE(parse_query_string("/announce?info_hash=" + hash +
+                                 "&ip=1.2.3.4&port=1&event=started")
+                  .has_value());
+}
+
 TEST(AnnounceWire, ReplyEncodingRoundTrip) {
   AnnounceReply reply;
   reply.ok = true;
