@@ -1,0 +1,168 @@
+// dht_perf — machine-readable perf baseline for the simulated Mainline
+// DHT. Builds overlays of increasing size, then times iterative get_peers
+// lookups from a read-only vantage, reporting the Kademlia quantities that
+// matter: hops to convergence (O(log n)), messages per lookup, and raw
+// lookup throughput. Writes BENCH_dht.json so CI can archive a perf
+// trajectory across PRs.
+//
+// Usage: dht_perf [--json PATH] [--lookups N] [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "dht/overlay.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+namespace {
+
+using dht::DhtOverlay;
+using dht::LookupStats;
+
+struct Options {
+  std::string json_path = "BENCH_dht.json";
+  std::size_t lookups = 2000;
+  std::vector<std::size_t> overlay_sizes = {100, 1000, 4000};
+};
+
+struct Result {
+  std::size_t nodes = 0;
+  std::size_t lookups = 0;
+  double avg_hops = 0.0;
+  std::uint32_t max_hops = 0;
+  double avg_messages = 0.0;
+  double avg_peers = 0.0;
+  double seconds = 0.0;
+  double lookups_per_sec() const { return double(lookups) / seconds; }
+};
+
+Result run_case(std::size_t n_nodes, const Options& opt) {
+  DhtOverlay overlay(/*seed=*/7);
+  constexpr std::size_t kTorrents = 64;
+  constexpr std::size_t kPeersPerTorrent = 20;
+
+  // Join n nodes, one per second, from a synthetic /8.
+  SimTime now = 0;
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const Endpoint endpoint{IpAddress(0x0D000000 + static_cast<std::uint32_t>(i)),
+                            6881};
+    overlay.add_node(endpoint, ++now);
+    endpoints.push_back(endpoint);
+  }
+  // Populate peer stores: each torrent gets announces from a deterministic
+  // slice of the population.
+  std::vector<Sha1Digest> infohashes;
+  infohashes.reserve(kTorrents);
+  for (std::size_t t = 0; t < kTorrents; ++t) {
+    infohashes.push_back(Sha1::hash("dht_perf_" + std::to_string(t)));
+    for (std::size_t p = 0; p < kPeersPerTorrent; ++p) {
+      overlay.announce_peer(infohashes.back(),
+                            endpoints[(t * kPeersPerTorrent + p) % n_nodes],
+                            ++now);
+    }
+  }
+
+  const Endpoint vantage{IpAddress(10, 88, 0, 1), 6881};
+  Rng rng(99);
+  Result r;
+  r.nodes = n_nodes;
+  r.lookups = opt.lookups;
+  std::uint64_t hops = 0, messages = 0, peers = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < opt.lookups; ++i) {
+    const Sha1Digest& infohash =
+        infohashes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(kTorrents - 1)))];
+    LookupStats stats;
+    const auto found =
+        overlay.get_peers(infohash, vantage, now, &stats, {}, /*read_only=*/true);
+    hops += stats.hops;
+    messages += stats.messages;
+    peers += found.size();
+    r.max_hops = std::max(r.max_hops, stats.hops);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.avg_hops = double(hops) / double(opt.lookups);
+  r.avg_messages = double(messages) / double(opt.lookups);
+  r.avg_peers = double(peers) / double(opt.lookups);
+  return r;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const std::vector<Result>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "dht_perf: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"benchmark\": \"dht_iterative_get_peers\",\n";
+  out << "  \"config\": {\"lookups\": " << opt.lookups
+      << ", \"torrents\": 64, \"peers_per_torrent\": 20}," << "\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"nodes\": %zu, \"lookups\": %zu, \"avg_hops\": %.2f, "
+                  "\"max_hops\": %u, \"avg_messages\": %.1f, "
+                  "\"avg_peers\": %.1f, \"seconds\": %.4f, "
+                  "\"lookups_per_sec\": %.0f}%s\n",
+                  r.nodes, r.lookups, r.avg_hops, r.max_hops, r.avg_messages,
+                  r.avg_peers, r.seconds, r.lookups_per_sec(),
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dht_perf: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--lookups") {
+      opt.lookups = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--quick") {
+      opt.lookups = 300;
+      opt.overlay_sizes = {100, 1000};
+    } else {
+      std::fprintf(stderr,
+                   "usage: dht_perf [--json PATH] [--lookups N] [--quick]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  for (const std::size_t n : opt.overlay_sizes) {
+    results.push_back(run_case(n, opt));
+    const Result& r = results.back();
+    std::printf("%5zu nodes: %6.0f lookups/s  avg %.2f hops (max %u), "
+                "%.1f msgs/lookup, %.1f peers/lookup\n",
+                r.nodes, r.lookups_per_sec(), r.avg_hops, r.max_hops,
+                r.avg_messages, r.avg_peers);
+  }
+  write_json(opt.json_path, opt, results);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace btpub
+
+int main(int argc, char** argv) { return btpub::run(argc, argv); }

@@ -7,7 +7,10 @@
 // paper describes as future work).
 //
 // The monitor runs on the discrete-event engine: an RSS poll every five
-// minutes drives single tracker queries, exactly like the real deployment.
+// minutes drives single tracker queries, exactly like the real deployment —
+// plus, new in this build, a trackerless cross-check: every discovery also
+// walks the Mainline DHT (iterative get_peers) and reports when the two
+// vantages disagree, the spoofed-tracker-announce signature.
 //
 // Build & run:   ./build/examples/live_monitor [seed]
 #include <cstdio>
@@ -88,7 +91,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
 
-  ScenarioConfig config = ScenarioConfig::quick(seed);
+  ScenarioConfig config = ScenarioConfig::spoofed(seed);
   config.window = days(2);  // keep the live log short
   Ecosystem ecosystem(config);
   ecosystem.build();
@@ -96,6 +99,11 @@ int main(int argc, char** argv) {
   Crawler crawler(ecosystem.portal(), ecosystem.tracker(), ecosystem.network(),
                   ecosystem.geo(), CrawlerConfig{}, seed);
   MonitorDb db(ecosystem.geo(), ecosystem.websites());
+
+  // The trackerless vantage: the swarms' DHT overlay, polled read-only
+  // from a measurement box that never joins the routing tables.
+  const auto overlay = ecosystem.build_dht_overlay(config.window);
+  const Endpoint dht_vantage{IpAddress(10, 88, 0, 1), 6881};
 
   std::printf("monitoring portal '%s' for %lld simulated days...\n\n",
               ecosystem.portal().name().c_str(),
@@ -116,6 +124,18 @@ int main(int argc, char** argv) {
       std::vector<SimTime> sightings;
       if (const auto record = crawler.discover(item.id, now, ips, sightings)) {
         db.on_content(*record, now);
+        // Trackerless cross-check: does the DHT confirm the swarm the
+        // tracker just described? A populated tracker view with an empty
+        // DHT view is the decoy-injection signature.
+        overlay->advance_to(now);
+        const auto dht_peers = overlay->get_peers(record->infohash, dht_vantage,
+                                                  now, nullptr, {},
+                                                  /*read_only=*/true);
+        std::printf("          dht vantage: %zu peer(s), tracker saw %u%s\n",
+                    dht_peers.size(), record->initial_peers,
+                    record->initial_peers >= 5 && dht_peers.empty()
+                        ? "  << TRACKER/DHT MISMATCH (spoof?)"
+                        : "");
       }
     }
     // 2. Learn from moderation: accounts whose content vanished are fake.

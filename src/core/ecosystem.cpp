@@ -6,10 +6,16 @@
 #include <stdexcept>
 
 #include "crawler/crawler.hpp"
+#include "crawler/dht_crawler.hpp"
 #include "torrent/metainfo.hpp"
 
 namespace btpub {
 namespace {
+
+/// BEP 5 clients refresh their announce well inside the peer store's TTL
+/// (dht::PeerStore::kPeerTtl); this is the simulated cadence.
+constexpr SimDuration kDhtReannounce = minutes(30);
+static_assert(kDhtReannounce < dht::PeerStore::kPeerTtl);
 
 std::size_t sample_poisson_count(double mean, Rng& rng) {
   if (mean <= 0.0) return 0;
@@ -201,6 +207,33 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
     swarm->add_session(s);
   }
 
+  // Decoy injection: a fake-farm announcer claims extra "seeders" at
+  // addresses it does not hold — sequential IPs from a hosting-style
+  // block, the pattern the paper's spoofed swarms showed. The tracker
+  // believes them; probes and the DHT (source-address storage) never see
+  // them. Drawn from an own substream so enabling the knob leaves every
+  // other draw untouched.
+  if (publisher.is_fake_farm() && config_.fake_spoofed_peers > 0) {
+    Rng spoof_rng(derive_seed(config_.seed, 0x5F00Full,
+                              static_cast<std::uint64_t>(truths_.size())));
+    const SimTime stop = removal >= 0 ? removal : hard_end;
+    const auto base = static_cast<std::uint32_t>(
+        spoof_rng.uniform_int(0x0B000000, 0xDF000000));
+    for (std::size_t i = 0; i < config_.fake_spoofed_peers; ++i) {
+      PeerSession s;
+      s.endpoint = Endpoint{IpAddress(base + static_cast<std::uint32_t>(i)),
+                            static_cast<std::uint16_t>(
+                                6881 + spoof_rng.uniform_int(0, 8))};
+      s.arrive = birth + static_cast<SimDuration>(spoof_rng.uniform_int(
+                             0, static_cast<std::int64_t>(minutes(30))));
+      s.depart = std::max<SimTime>(stop, s.arrive + hours(1));
+      s.complete_at = s.arrive;  // decoys pose as seeders
+      s.nat = true;              // unreachable, like any address not held
+      s.spoofed = true;
+      swarm->add_session(s);
+    }
+  }
+
   swarm->finalize();
   tracker_->host_swarm(*swarm);
   network_.register_swarm(*swarm);
@@ -218,6 +251,85 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
   truths_.push_back(std::move(truth));
   swarms_.push_back(std::move(swarm));
   return id;
+}
+
+std::unique_ptr<dht::DhtOverlay> Ecosystem::build_dht_overlay(
+    SimTime horizon) const {
+  if (!built_) throw std::logic_error("Ecosystem::build_dht_overlay before build");
+  auto overlay =
+      std::make_unique<dht::DhtOverlay>(derive_seed(config_.seed, 0xD47ull));
+  dht::DhtOverlay* net = overlay.get();
+
+  // Node lifetime = union of an endpoint's connectable sessions across all
+  // swarms (a client runs one DHT node however many torrents it is on).
+  // NAT peers never serve as nodes; spoofed decoys do not exist at all.
+  std::map<Endpoint, std::vector<Interval>> lifetimes;
+  for (const auto& swarm : swarms_) {
+    for (const PeerSession& s : swarm->sessions()) {
+      if (s.nat || s.spoofed) continue;
+      lifetimes[s.endpoint].push_back(
+          Interval{std::max<SimTime>(s.arrive, 0), std::min(s.depart, horizon)});
+    }
+  }
+  for (auto& [endpoint, intervals] : lifetimes) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+    Interval merged = intervals.front();
+    auto emit = [net, endpoint = endpoint](const Interval& iv) {
+      if (iv.end <= iv.start) return;
+      net->events().schedule_at(
+          iv.start, [net, endpoint, at = iv.start] { net->add_node(endpoint, at); });
+      net->events().schedule_at(iv.end,
+                                [net, endpoint] { net->remove_node(endpoint); });
+    };
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].start <= merged.end) {
+        merged.end = std::max(merged.end, intervals[i].end);
+      } else {
+        emit(merged);
+        merged = intervals[i];
+      }
+    }
+    emit(merged);
+  }
+
+  // Announces: every real session announce_peer-s on arrival and every
+  // kDhtReannounce until departure. NAT peers announce too — the node they
+  // hit stores the datagram's source address, exactly like a tracker sees
+  // their IP. Fake-farm publishers run tracker-only announcer software;
+  // their absence from the DHT is the signature the cross-check hunts.
+  // Scheduled after the joins, so at equal timestamps (FIFO queue) a
+  // node's join precedes its first announce.
+  for (std::size_t i = 0; i < swarms_.size(); ++i) {
+    const Sha1Digest infohash = swarms_[i]->infohash();
+    const bool fake_publisher = is_fake(truths_[i].publisher_class);
+    for (const PeerSession& s : swarms_[i]->sessions()) {
+      if (s.spoofed) continue;
+      if (s.is_publisher && fake_publisher) continue;
+      const SimTime stop = std::min(s.depart, horizon);
+      SimTime at = s.arrive;
+      if (at < 0) at += ((-at) / kDhtReannounce + 1) * kDhtReannounce;
+      for (; at < stop; at += kDhtReannounce) {
+        net->events().schedule_at(at, [net, infohash, endpoint = s.endpoint, at] {
+          net->announce_peer(infohash, endpoint, at);
+        });
+      }
+    }
+  }
+  return overlay;
+}
+
+Dataset Ecosystem::dht_crawl() {
+  if (!built_) throw std::logic_error("Ecosystem::dht_crawl before build");
+  // A fresh overlay per crawl: repeated dht_crawl() calls replay the same
+  // schedule from scratch and return byte-identical datasets.
+  const auto overlay = build_dht_overlay(config_.window + config_.dht_crawler.grace);
+  DhtCrawler crawler(portal_, *overlay, config_.dht_crawler,
+                     derive_seed(config_.seed, 0xDC13ull));
+  return crawler.crawl_window(0, config_.window);
 }
 
 Dataset Ecosystem::crawl() {

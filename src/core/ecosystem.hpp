@@ -13,6 +13,7 @@
 
 #include "core/scenario.hpp"
 #include "crawler/dataset.hpp"
+#include "dht/overlay.hpp"
 #include "geo/isp_catalog.hpp"
 #include "portal/portal.hpp"
 #include "publisher/population.hpp"
@@ -46,6 +47,20 @@ class Ecosystem {
 
   /// Runs the measurement crawler over the window; deterministic.
   Dataset crawl();
+
+  /// Runs the trackerless (DHT) vantage over the same window;
+  /// deterministic and byte-identical across repeated calls — every call
+  /// rebuilds a fresh overlay from the generated swarms.
+  Dataset dht_crawl();
+
+  /// Builds the Mainline DHT overlay the swarms populate: connectable
+  /// (non-NAT) peers join as nodes for the union of their sessions, every
+  /// real session announce_peer-s periodically (NAT peers announce without
+  /// serving), and spoofed decoys plus fake-farm publishers never take
+  /// part — their absence is the cross-check signature. Nothing past
+  /// `horizon` is scheduled. The overlay seed derives from the scenario
+  /// seed alone, so this never perturbs the generator's RNG streams.
+  std::unique_ptr<dht::DhtOverlay> build_dht_overlay(SimTime horizon) const;
 
   // --- components (valid after build()) ---
   const ScenarioConfig& config() const noexcept { return config_; }

@@ -68,4 +68,11 @@ ScenarioConfig ScenarioConfig::quick(std::uint64_t seed) {
   return config;
 }
 
+ScenarioConfig ScenarioConfig::spoofed(std::uint64_t seed) {
+  ScenarioConfig config = quick(seed);
+  config.name = "spoofed";
+  config.fake_spoofed_peers = 25;
+  return config;
+}
+
 }  // namespace btpub

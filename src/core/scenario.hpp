@@ -13,12 +13,16 @@
 //                   density (parallel torrents, aggregated sessions) must
 //                   match the paper rather than the portal's total volume.
 //   * quick()     — small and fast; unit/integration tests and examples.
+//   * spoofed()   — quick() plus fake publishers that inject spoofed decoy
+//                   addresses into their tracker announces; the DHT
+//                   cross-check study's scenario.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "crawler/crawler.hpp"
+#include "crawler/dht_crawler.hpp"
 #include "publisher/population.hpp"
 #include "tracker/tracker.hpp"
 #include "util/time.hpp"
@@ -33,6 +37,7 @@ struct ScenarioConfig {
   PopulationConfig population;
   TrackerConfig tracker;
   CrawlerConfig crawler;
+  DhtCrawlerConfig dht_crawler;
 
   // Swarm demand model.
   double downloader_nat_fraction = 0.35;
@@ -61,11 +66,20 @@ struct ScenarioConfig {
   SimDuration cross_post_lead_min = hours(12);
   SimDuration cross_post_lead_max = hours(72);
 
+  /// Spoofed decoy addresses a fake-farm publisher injects into the
+  /// tracker per torrent (claimed seeders drawn from a hosting-style
+  /// block). The addresses are not actually held: unreachable to probes
+  /// and absent from the DHT, whose nodes store the announce *source*
+  /// address — the disagreement the cross-check report flags. 0 disables
+  /// (the default; every preexisting scenario is bit-unchanged).
+  std::size_t fake_spoofed_peers = 0;
+
   static ScenarioConfig pb10(std::uint64_t seed = 42);
   static ScenarioConfig pb09(std::uint64_t seed = 42);
   static ScenarioConfig mn08(std::uint64_t seed = 42);
   static ScenarioConfig signature(std::uint64_t seed = 42);
   static ScenarioConfig quick(std::uint64_t seed = 42);
+  static ScenarioConfig spoofed(std::uint64_t seed = 42);
 };
 
 }  // namespace btpub

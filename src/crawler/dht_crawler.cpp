@@ -1,0 +1,177 @@
+#include "crawler/dht_crawler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "torrent/magnet.hpp"
+#include "torrent/metainfo.hpp"
+#include "util/rng.hpp"
+
+namespace btpub {
+
+DhtCrawler::DhtCrawler(const Portal& portal, dht::DhtOverlay& overlay,
+                       DhtCrawlerConfig config, std::uint64_t seed)
+    : portal_(&portal),
+      overlay_(&overlay),
+      config_(std::move(config)),
+      seed_(seed) {
+  if (!config_.bootstrap_magnet.empty()) {
+    if (const auto link = MagnetLink::parse(config_.bootstrap_magnet)) {
+      bootstrap_ = link->peers;
+    }
+  }
+}
+
+Endpoint DhtCrawler::vantage() const {
+  // 10.88.0.0/16: the DHT measurement box, distinct from both the tracker
+  // vantages (10.77/16) and the overlay router (10.99/16).
+  return Endpoint{IpAddress(10, 88, 0, 1), 6881};
+}
+
+Dataset DhtCrawler::crawl_window(SimTime window_start, SimTime window_end) {
+  Dataset dataset;
+  dataset.style = config_.style;
+  dataset.name = std::string(to_string(config_.style)) + "-dht";
+  dataset.window_start = window_start;
+  dataset.window_end = window_end;
+  totals_ = DhtCrawlTotals{};
+
+  const SimTime hard_stop = window_end + config_.grace;
+
+  // Same discovery rule as the tracker crawler: the dense id space stands
+  // in for having tailed the RSS feed; discovery lands on the next poll
+  // tick plus a per-torrent jittered handling delay.
+  struct Monitor {
+    TorrentId id = kInvalidTorrent;
+    TorrentRecord record;
+    std::vector<IpAddress> ips;
+    std::unordered_set<IpAddress> seen;
+    std::uint32_t consecutive_empty = 0;
+    bool discovered = false;
+    bool ok = false;
+  };
+  std::vector<Monitor> monitors;
+
+  struct Poll {
+    SimTime at;
+    std::size_t monitor;
+  };
+  struct LaterPoll {
+    bool operator()(const Poll& a, const Poll& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.monitor > b.monitor;  // portal-id order within a timestamp
+    }
+  };
+  std::priority_queue<Poll, std::vector<Poll>, LaterPoll> schedule;
+
+  const TorrentId newest = portal_->newest_id();
+  if (newest == kInvalidTorrent) return dataset;
+  for (TorrentId id = 0; id <= newest; ++id) {
+    const auto page = portal_->page(id, hard_stop);
+    if (!page) continue;
+    if (page->published_at < window_start || page->published_at >= window_end) {
+      continue;
+    }
+    Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(id)));
+    const SimTime poll_tick =
+        ((page->published_at / config_.rss_poll) + 1) * config_.rss_poll;
+    const SimTime discovery =
+        poll_tick + static_cast<SimDuration>(rng.uniform_int(5, 60));
+    Monitor monitor;
+    monitor.id = id;
+    schedule.push(Poll{discovery, monitors.size()});
+    monitors.push_back(std::move(monitor));
+  }
+
+  // One global polling loop: every pop advances the overlay monotonically,
+  // so the scheduled overlay life (joins, announces, departures) interleaves
+  // with the measurement exactly once, in time order.
+  while (!schedule.empty()) {
+    const Poll poll = schedule.top();
+    schedule.pop();
+    Monitor& m = monitors[poll.monitor];
+    const SimTime now = poll.at;
+
+    if (!m.discovered) {
+      const auto page = portal_->page(m.id, now);
+      if (!page || page->removed) continue;  // gone before the first fetch
+      const auto torrent_bytes = portal_->fetch_torrent(m.id, now);
+      if (!torrent_bytes) continue;
+      Metainfo metainfo;
+      try {
+        metainfo = Metainfo::parse(*torrent_bytes);
+      } catch (const std::exception&) {
+        continue;  // malformed .torrent: skip
+      }
+      m.record.portal_id = m.id;
+      m.record.title = page->title;
+      m.record.category = page->category;
+      m.record.language = page->language;
+      m.record.size_bytes = page->size_bytes;
+      m.record.published_at = page->published_at;
+      m.record.textbox = page->textbox;
+      if (config_.style != DatasetStyle::Mn08) m.record.username = page->username;
+      m.record.infohash = metainfo.infohash();
+      m.record.piece_count = metainfo.piece_count();
+      for (const FileEntry& f : metainfo.files()) {
+        m.record.payload_filenames.push_back(f.path);
+      }
+      m.record.first_seen = now;
+      m.discovered = true;
+      m.ok = true;
+    } else if (!m.record.observed_removed) {
+      const auto page = portal_->page(m.id, now);
+      if (page && page->removed) {
+        m.record.observed_removed = true;
+        m.record.observed_removed_at = now;
+      }
+    }
+
+    overlay_->advance_to(now);
+    dht::LookupStats stats;
+    const std::vector<Endpoint> peers = overlay_->get_peers(
+        m.record.infohash, vantage(), now, &stats, bootstrap_,
+        /*read_only=*/true);
+    ++m.record.query_count;
+    ++totals_.lookups;
+    totals_.messages += stats.messages;
+    totals_.timeouts += stats.timeouts;
+    totals_.hops += stats.hops;
+    totals_.max_hops = std::max(totals_.max_hops, stats.hops);
+    if (m.record.query_count == 1) {
+      m.record.initial_peers = static_cast<std::uint32_t>(peers.size());
+    }
+    m.record.max_concurrent = std::max(
+        m.record.max_concurrent, static_cast<std::uint32_t>(peers.size()));
+    for (const Endpoint& peer : peers) {
+      if (m.seen.insert(peer.ip).second) m.ips.push_back(peer.ip);
+    }
+    if (peers.empty()) {
+      if (++m.consecutive_empty >= config_.empty_lookups_to_stop) continue;
+    } else {
+      m.consecutive_empty = 0;
+    }
+    const SimTime next = now + config_.poll_interval;
+    if (next <= hard_stop) schedule.push(Poll{next, poll.monitor});
+  }
+
+  for (Monitor& m : monitors) {
+    if (!m.ok) continue;
+    dataset.torrents.push_back(std::move(m.record));
+    dataset.downloaders.push_back(std::move(m.ips));
+    dataset.publisher_sightings.emplace_back();  // no probe at this vantage
+  }
+  if (config_.style != DatasetStyle::Mn08) {
+    for (const TorrentRecord& record : dataset.torrents) {
+      if (record.username.empty()) continue;
+      if (!dataset.user_pages.contains(record.username)) {
+        dataset.user_pages.emplace(
+            record.username, portal_->user_page(record.username, hard_stop));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace btpub

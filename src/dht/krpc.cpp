@@ -1,0 +1,327 @@
+#include "dht/krpc.hpp"
+
+#include <cstring>
+
+#include "bencode/bencode.hpp"
+
+namespace btpub::dht {
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::string_view bytes_view(const std::array<std::uint8_t, 20>& bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// Reads a 20-byte string value into an id/digest array; false on any
+/// type or length mismatch.
+bool read_id(const bencode::Value* value, std::array<std::uint8_t, 20>& out) {
+  if (value == nullptr || !value->is_string()) return false;
+  const std::string& s = value->as_string();
+  if (s.size() != out.size()) return false;
+  std::memcpy(out.data(), s.data(), out.size());
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::Ping: return "ping";
+    case Method::FindNode: return "find_node";
+    case Method::GetPeers: return "get_peers";
+    case Method::AnnouncePeer: return "announce_peer";
+  }
+  return "ping";
+}
+
+// ---- compact encodings ----------------------------------------------------
+
+void append_compact_node(std::string& out, const NodeInfo& node) {
+  out.append(bytes_view(node.id.bytes));
+  append_compact_peer(out, node.endpoint);
+}
+
+std::vector<NodeInfo> parse_compact_nodes(std::string_view blob) {
+  std::vector<NodeInfo> nodes;
+  if (blob.size() % 26 != 0) return nodes;
+  nodes.reserve(blob.size() / 26);
+  for (std::size_t at = 0; at < blob.size(); at += 26) {
+    NodeInfo node;
+    std::memcpy(node.id.bytes.data(), blob.data() + at, 20);
+    const auto endpoint = parse_compact_peer(blob.substr(at + 20, 6));
+    node.endpoint = *endpoint;  // always present: the slice is 6 bytes
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+void append_compact_peer(std::string& out, const Endpoint& peer) {
+  put_u32(out, peer.ip.value());
+  put_u16(out, peer.port);
+}
+
+std::optional<Endpoint> parse_compact_peer(std::string_view blob) {
+  if (blob.size() != 6) return std::nullopt;
+  const auto u8 = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(blob[i]));
+  };
+  Endpoint peer;
+  peer.ip = IpAddress((u8(0) << 24) | (u8(1) << 16) | (u8(2) << 8) | u8(3));
+  peer.port = static_cast<std::uint16_t>((u8(4) << 8) | u8(5));
+  return peer;
+}
+
+// ---- query ----------------------------------------------------------------
+
+std::string Query::encode() const {
+  std::string out;
+  encode_into(out);
+  return out;
+}
+
+void Query::encode_into(std::string& out) const {
+  out.clear();
+  bencode::Writer w(out);
+  w.begin_dict();
+  w.key("a");
+  {
+    w.begin_dict();
+    w.key("id");
+    w.string(bytes_view(sender_id.bytes));
+    if (method == Method::GetPeers || method == Method::AnnouncePeer) {
+      w.key("info_hash");
+      w.string(bytes_view(info_hash.bytes));
+    }
+    if (method == Method::AnnouncePeer) {
+      w.key("port");
+      w.integer(port);
+    }
+    if (method == Method::FindNode) {
+      w.key("target");
+      w.string(bytes_view(target.bytes));
+    }
+    if (method == Method::AnnouncePeer) {
+      w.key("token");
+      w.string(token);
+    }
+    w.end();
+  }
+  w.key("q");
+  w.string(to_string(method));
+  if (read_only) {
+    w.key("ro");
+    w.integer(1);
+  }
+  w.key("t");
+  w.string(transaction_id);
+  w.key("y");
+  w.string("q");
+  w.end();
+}
+
+std::optional<Query> Query::decode(std::string_view datagram) {
+  bencode::Value root;
+  try {
+    root = bencode::decode(datagram);
+  } catch (const bencode::Error&) {
+    return std::nullopt;
+  }
+  if (!root.is_dict()) return std::nullopt;
+  const auto y = root.find_string("y");
+  if (!y || *y != "q") return std::nullopt;
+  const auto t = root.find_string("t");
+  const auto q = root.find_string("q");
+  if (!t || !q) return std::nullopt;
+
+  Query query;
+  query.transaction_id = *t;
+  if (*q == "ping") {
+    query.method = Method::Ping;
+  } else if (*q == "find_node") {
+    query.method = Method::FindNode;
+  } else if (*q == "get_peers") {
+    query.method = Method::GetPeers;
+  } else if (*q == "announce_peer") {
+    query.method = Method::AnnouncePeer;
+  } else {
+    return std::nullopt;
+  }
+  if (const auto ro = root.find_integer("ro")) query.read_only = *ro != 0;
+
+  const bencode::Value* args = root.find("a");
+  if (args == nullptr || !args->is_dict()) return std::nullopt;
+  if (!read_id(args->find("id"), query.sender_id.bytes)) return std::nullopt;
+  switch (query.method) {
+    case Method::Ping:
+      break;
+    case Method::FindNode:
+      if (!read_id(args->find("target"), query.target.bytes)) return std::nullopt;
+      break;
+    case Method::GetPeers:
+      if (!read_id(args->find("info_hash"), query.info_hash.bytes)) {
+        return std::nullopt;
+      }
+      break;
+    case Method::AnnouncePeer: {
+      if (!read_id(args->find("info_hash"), query.info_hash.bytes)) {
+        return std::nullopt;
+      }
+      const auto port = args->find_integer("port");
+      if (!port || *port < 0 || *port > 0xffff) return std::nullopt;
+      query.port = static_cast<std::uint16_t>(*port);
+      const auto token = args->find_string("token");
+      if (!token) return std::nullopt;
+      query.token = *token;
+      break;
+    }
+  }
+  return query;
+}
+
+// ---- response -------------------------------------------------------------
+
+std::string Response::encode() const {
+  std::string out;
+  encode_into(out);
+  return out;
+}
+
+void Response::encode_into(std::string& out) const {
+  out.clear();
+  bencode::Writer w(out);
+  w.begin_dict();
+  w.key("r");
+  {
+    w.begin_dict();
+    w.key("id");
+    w.string(bytes_view(sender_id.bytes));
+    if (!nodes.empty()) {
+      w.key("nodes");
+      w.string_header(nodes.size() * 26);
+      for (const NodeInfo& node : nodes) append_compact_node(out, node);
+    }
+    if (!token.empty()) {
+      w.key("token");
+      w.string(token);
+    }
+    if (!peers.empty()) {
+      w.key("values");
+      w.begin_list();
+      for (const Endpoint& peer : peers) {
+        w.string_header(6);
+        append_compact_peer(out, peer);
+      }
+      w.end();
+    }
+    w.end();
+  }
+  w.key("t");
+  w.string(transaction_id);
+  w.key("y");
+  w.string("r");
+  w.end();
+}
+
+std::optional<Response> Response::decode(std::string_view datagram) {
+  bencode::Value root;
+  try {
+    root = bencode::decode(datagram);
+  } catch (const bencode::Error&) {
+    return std::nullopt;
+  }
+  if (!root.is_dict()) return std::nullopt;
+  const auto y = root.find_string("y");
+  if (!y || *y != "r") return std::nullopt;
+  const auto t = root.find_string("t");
+  if (!t) return std::nullopt;
+  const bencode::Value* body = root.find("r");
+  if (body == nullptr || !body->is_dict()) return std::nullopt;
+
+  Response response;
+  response.transaction_id = *t;
+  if (!read_id(body->find("id"), response.sender_id.bytes)) return std::nullopt;
+  if (const auto nodes = body->find_string("nodes")) {
+    if (nodes->size() % 26 != 0) return std::nullopt;
+    response.nodes = parse_compact_nodes(*nodes);
+  }
+  if (const auto token = body->find_string("token")) response.token = *token;
+  if (const bencode::Value* values = body->find("values")) {
+    if (!values->is_list()) return std::nullopt;
+    for (const bencode::Value& entry : values->as_list()) {
+      if (!entry.is_string()) return std::nullopt;
+      const auto peer = parse_compact_peer(entry.as_string());
+      if (!peer) return std::nullopt;
+      response.peers.push_back(*peer);
+    }
+  }
+  return response;
+}
+
+// ---- error ----------------------------------------------------------------
+
+std::string ErrorMessage::encode() const {
+  std::string out;
+  bencode::Writer w(out);
+  w.begin_dict();
+  w.key("e");
+  w.begin_list();
+  w.integer(code);
+  w.string(message);
+  w.end();
+  w.key("t");
+  w.string(transaction_id);
+  w.key("y");
+  w.string("e");
+  w.end();
+  return out;
+}
+
+std::optional<ErrorMessage> ErrorMessage::decode(std::string_view datagram) {
+  bencode::Value root;
+  try {
+    root = bencode::decode(datagram);
+  } catch (const bencode::Error&) {
+    return std::nullopt;
+  }
+  if (!root.is_dict()) return std::nullopt;
+  const auto y = root.find_string("y");
+  if (!y || *y != "e") return std::nullopt;
+  const auto t = root.find_string("t");
+  if (!t) return std::nullopt;
+  const bencode::Value* e = root.find("e");
+  if (e == nullptr || !e->is_list()) return std::nullopt;
+  const bencode::List& list = e->as_list();
+  if (list.size() != 2 || !list[0].is_integer() || !list[1].is_string()) {
+    return std::nullopt;
+  }
+  ErrorMessage error;
+  error.transaction_id = *t;
+  error.code = list[0].as_integer();
+  error.message = list[1].as_string();
+  return error;
+}
+
+std::optional<char> message_kind(std::string_view datagram) {
+  try {
+    const bencode::Value root = bencode::decode(datagram);
+    if (!root.is_dict()) return std::nullopt;
+    const auto y = root.find_string("y");
+    if (!y || y->size() != 1) return std::nullopt;
+    const char kind = (*y)[0];
+    if (kind != 'q' && kind != 'r' && kind != 'e') return std::nullopt;
+    return kind;
+  } catch (const bencode::Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace btpub::dht

@@ -1,0 +1,102 @@
+// krpc.hpp — the KRPC message layer of Mainline DHT (BEP 5).
+//
+// Every DHT datagram is a single bencoded dictionary: a query ("y":"q"
+// carrying "q" = ping/find_node/get_peers/announce_peer and its arguments),
+// a response ("y":"r") or an error ("y":"e" with [code, message]).
+// Transaction ids correlate a response with its query; the overlay's RPC
+// layer enforces the echo. Encoding goes through bencode::Writer so a warm
+// buffer makes the hot lookup path allocation-light, exactly like the
+// tracker's announce fast path; decoding reuses the tree parser because
+// queries arrive from untrusted peers and need full validation anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dht/node_id.hpp"
+#include "net/ip.hpp"
+
+namespace btpub::dht {
+
+/// The four BEP 5 query methods.
+enum class Method : std::uint8_t { Ping, FindNode, GetPeers, AnnouncePeer };
+
+std::string_view to_string(Method method);
+
+/// (id, endpoint) pair as carried in "nodes" compact node info.
+struct NodeInfo {
+  NodeId id{};
+  Endpoint endpoint{};
+
+  friend bool operator==(const NodeInfo&, const NodeInfo&) = default;
+};
+
+/// 26-byte-per-node compact node info (BEP 5): 20 id bytes, 4 ip, 2 port.
+void append_compact_node(std::string& out, const NodeInfo& node);
+std::vector<NodeInfo> parse_compact_nodes(std::string_view blob);
+
+/// 6-byte compact peer info (same layout the tracker uses).
+void append_compact_peer(std::string& out, const Endpoint& peer);
+std::optional<Endpoint> parse_compact_peer(std::string_view blob);
+
+/// A KRPC query message.
+struct Query {
+  std::string transaction_id;
+  Method method = Method::Ping;
+  NodeId sender_id{};
+  /// find_node: "target" — the id being located.
+  NodeId target{};
+  /// get_peers / announce_peer: "info_hash".
+  Sha1Digest info_hash{};
+  /// announce_peer arguments.
+  std::uint16_t port = 0;
+  std::string token;
+  /// BEP 43 read-only flag: receivers must not add the sender to their
+  /// routing tables. The crawler vantage sets it so repeated measurement
+  /// walks never pollute the overlay they observe.
+  bool read_only = false;
+
+  std::string encode() const;
+  void encode_into(std::string& out) const;
+  static std::optional<Query> decode(std::string_view datagram);
+};
+
+/// A KRPC response message.
+struct Response {
+  std::string transaction_id;
+  NodeId sender_id{};
+  /// find_node / get_peers: compact nodes closer to the target.
+  std::vector<NodeInfo> nodes;
+  /// get_peers: stored peers ("values"), when the node has any.
+  std::vector<Endpoint> peers;
+  /// get_peers: write token for a later announce_peer.
+  std::string token;
+
+  std::string encode() const;
+  void encode_into(std::string& out) const;
+  static std::optional<Response> decode(std::string_view datagram);
+};
+
+/// A KRPC error message ([code, message]).
+struct ErrorMessage {
+  std::string transaction_id;
+  std::int64_t code = 201;
+  std::string message;
+
+  std::string encode() const;
+  static std::optional<ErrorMessage> decode(std::string_view datagram);
+};
+
+/// BEP 5 error codes used by the node implementation.
+inline constexpr std::int64_t kErrorGeneric = 201;
+inline constexpr std::int64_t kErrorProtocol = 203;
+inline constexpr std::int64_t kErrorUnknownMethod = 204;
+
+/// Peeks at the message kind ('q', 'r' or 'e') without a full decode;
+/// nullopt for malformed bencode or a missing/invalid "y" key.
+std::optional<char> message_kind(std::string_view datagram);
+
+}  // namespace btpub::dht

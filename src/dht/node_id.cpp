@@ -1,0 +1,51 @@
+#include "dht/node_id.hpp"
+
+namespace btpub::dht {
+
+std::string NodeId::hex() const { return to_digest().hex(); }
+
+NodeId NodeId::for_endpoint(std::uint64_t seed, const Endpoint& endpoint) {
+  std::uint8_t material[14];
+  for (int i = 0; i < 8; ++i) {
+    material[i] = static_cast<std::uint8_t>(seed >> (8 * (7 - i)));
+  }
+  const std::uint32_t ip = endpoint.ip.value();
+  material[8] = static_cast<std::uint8_t>(ip >> 24);
+  material[9] = static_cast<std::uint8_t>(ip >> 16);
+  material[10] = static_cast<std::uint8_t>(ip >> 8);
+  material[11] = static_cast<std::uint8_t>(ip);
+  material[12] = static_cast<std::uint8_t>(endpoint.port >> 8);
+  material[13] = static_cast<std::uint8_t>(endpoint.port);
+  return from_digest(Sha1::hash(std::span<const std::uint8_t>(material)));
+}
+
+NodeId distance(const NodeId& a, const NodeId& b) noexcept {
+  NodeId d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>(a.bytes[i] ^ b.bytes[i]);
+  }
+  return d;
+}
+
+bool closer(const NodeId& a, const NodeId& b, const NodeId& target) noexcept {
+  // Byte-lexicographic comparison of the XOR'd big-endian magnitudes,
+  // without materialising either distance.
+  for (std::size_t i = 0; i < target.bytes.size(); ++i) {
+    const std::uint8_t da = static_cast<std::uint8_t>(a.bytes[i] ^ target.bytes[i]);
+    const std::uint8_t db = static_cast<std::uint8_t>(b.bytes[i] ^ target.bytes[i]);
+    if (da != db) return da < db;
+  }
+  return false;
+}
+
+int distance_bit(const NodeId& d) noexcept {
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    if (d.bytes[i] == 0) continue;
+    int bit = 7;
+    while (((d.bytes[i] >> bit) & 1) == 0) --bit;
+    return static_cast<int>((d.bytes.size() - 1 - i) * 8) + bit;
+  }
+  return -1;
+}
+
+}  // namespace btpub::dht

@@ -1,0 +1,63 @@
+// node_id.hpp — 160-bit Kademlia node identifiers (BEP 5).
+//
+// Mainline DHT nodes live in the same SHA-1 space as infohashes; closeness
+// between a node and a torrent is the XOR metric interpreted as a
+// big-endian 160-bit integer. Keeping NodeId layout-compatible with
+// Sha1Digest lets the overlay reuse the existing digest plumbing (hex
+// rendering, hashing, infohash targets) without conversions.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha1.hpp"
+#include "net/ip.hpp"
+
+namespace btpub::dht {
+
+/// A 160-bit identifier in the infohash space.
+struct NodeId {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const NodeId&) const = default;
+
+  std::string hex() const;
+
+  /// The infohash-as-target view: lookups for a torrent aim at the
+  /// infohash bytes directly.
+  static NodeId from_digest(const Sha1Digest& digest) noexcept {
+    return NodeId{digest.bytes};
+  }
+  Sha1Digest to_digest() const noexcept { return Sha1Digest{bytes}; }
+
+  /// Deterministic per-endpoint identity: real clients pick a random id
+  /// once and keep it; we derive it from (seed, ip, port) so the same
+  /// scenario always grows the same overlay.
+  static NodeId for_endpoint(std::uint64_t seed, const Endpoint& endpoint);
+};
+
+/// XOR distance between two ids (big-endian magnitude order).
+NodeId distance(const NodeId& a, const NodeId& b) noexcept;
+
+/// True when |a - target| < |b - target| under the XOR metric.
+bool closer(const NodeId& a, const NodeId& b, const NodeId& target) noexcept;
+
+/// Index of the highest set bit of `d` (159 for the farthest half of the
+/// space, 0 for adjacent ids); -1 when d is zero. This is the k-bucket
+/// index of a node at distance `d`.
+int distance_bit(const NodeId& d) noexcept;
+
+}  // namespace btpub::dht
+
+template <>
+struct std::hash<btpub::dht::NodeId> {
+  std::size_t operator()(const btpub::dht::NodeId& id) const noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      out = (out << 8) | id.bytes[i];
+    }
+    return out;
+  }
+};

@@ -1,0 +1,144 @@
+// overlay.hpp — the simulated Mainline DHT overlay network.
+//
+// No sockets: a datagram "sent" to an endpoint is handled synchronously by
+// the addressed node at the carried simulated time, mirroring how the
+// tracker endpoint answers announce datagrams. Reachability is modelled:
+// datagrams to endpoints that are not (or no longer) overlay nodes are
+// lost, which the RPC layer reports as a timeout — iterative lookups route
+// around departed nodes exactly as a real client would.
+//
+// Time is driven two ways, both deterministic:
+//   * an internal EventQueue carries the scheduled life of the overlay
+//     (node joins at session arrival, periodic announce_peer refreshes,
+//     departures) — advance_to(t) replays it up to t;
+//   * client operations (lookups, announces, the crawler's walks) run
+//     synchronously at an explicit `now`, which must be >= the last
+//     advance (one monotone sweep, the same discipline Swarm::counts_at
+//     imposes).
+//
+// Determinism: node ids derive from (seed, endpoint); transaction ids come
+// from a single sequential counter; the node registry is an ordered map;
+// lookups break distance ties on the id bytes. Two overlays built from the
+// same seed and fed the same schedule answer every query byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dht/node.hpp"
+#include "sim/event_queue.hpp"
+
+namespace btpub::dht {
+
+/// Telemetry of one iterative lookup (the dht_perf metrics).
+struct LookupStats {
+  /// Query rounds until convergence (the O(log n) quantity).
+  std::uint32_t hops = 0;
+  /// Queries sent, including ones that timed out.
+  std::uint32_t messages = 0;
+  /// Queries that went unanswered (departed/NATed endpoints).
+  std::uint32_t timeouts = 0;
+  /// Distinct peers returned by get_peers values.
+  std::size_t peers_found = 0;
+};
+
+class DhtOverlay {
+ public:
+  /// Lookup parallelism (the Kademlia alpha).
+  static constexpr std::size_t kAlpha = 3;
+
+  explicit DhtOverlay(std::uint64_t seed);
+
+  /// The always-on bootstrap router (a la router.bittorrent.com). It
+  /// participates in routing but never stores or announces peers.
+  const Endpoint& router() const noexcept { return router_endpoint_; }
+
+  // ---- membership ----------------------------------------------------------
+
+  /// Creates a node at `endpoint` (id derived from the overlay seed) and
+  /// joins it through the router: an iterative find_node towards its own
+  /// id that fills its routing table and advertises it to the overlay.
+  /// Adding an existing endpoint refreshes (re-joins) it. Returns the id.
+  NodeId add_node(const Endpoint& endpoint, SimTime now);
+
+  /// Departs a node: it stops answering; other tables shed it on timeout.
+  void remove_node(const Endpoint& endpoint);
+
+  bool is_node(const Endpoint& endpoint) const;
+  DhtNode* node_at(const Endpoint& endpoint);
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  // ---- scheduled life -------------------------------------------------------
+
+  EventQueue& events() noexcept { return events_; }
+  /// Replays scheduled events with timestamp <= t. Client operations at
+  /// time `now` must be preceded by advance_to(now).
+  void advance_to(SimTime t) { events_.run_until(t); }
+  SimTime now() const noexcept { return events_.now(); }
+
+  // ---- wire-level ----------------------------------------------------------
+
+  /// Delivers one datagram; nullopt models a timeout (unknown endpoint).
+  std::optional<std::string> send(const Endpoint& to, std::string_view datagram,
+                                  const Endpoint& from, SimTime now);
+
+  // ---- client operations ----------------------------------------------------
+
+  /// Iterative get_peers from vantage `from` (need not be a node; pass
+  /// read_only=true for measurement vantages). Returns the distinct peers
+  /// found, in discovery order. `bootstrap` endpoints seed the shortlist;
+  /// when empty the router is used.
+  std::vector<Endpoint> get_peers(const Sha1Digest& info_hash,
+                                  const Endpoint& from, SimTime now,
+                                  LookupStats* stats = nullptr,
+                                  std::span<const Endpoint> bootstrap = {},
+                                  bool read_only = false);
+
+  /// Full BEP 5 announce from a node: iterative get_peers to locate the k
+  /// closest nodes (collecting their tokens), then announce_peer to each.
+  /// The peer's address is its own endpoint; `port` defaults to it too.
+  void announce_peer(const Sha1Digest& info_hash, const Endpoint& peer,
+                     SimTime now, LookupStats* stats = nullptr);
+
+  /// Total datagrams delivered (diagnostic).
+  std::uint64_t datagrams() const noexcept { return datagrams_; }
+
+ private:
+  struct Candidate {
+    NodeId id{};
+    Endpoint endpoint{};
+    bool id_known = false;
+    bool queried = false;
+    bool responded = false;
+  };
+  struct LookupResult {
+    std::vector<Endpoint> peers;
+    /// The closest responding nodes with the tokens they handed out.
+    std::vector<std::pair<NodeInfo, std::string>> closest;
+  };
+
+  LookupResult iterative_get_peers(const Sha1Digest& info_hash,
+                                   const Endpoint& from, SimTime now,
+                                   LookupStats* stats,
+                                   std::span<const Endpoint> bootstrap,
+                                   bool read_only);
+  /// Iterative find_node used by joins; routing tables fill as a side
+  /// effect of the traffic.
+  void iterative_find_node(DhtNode& from, const NodeId& target, SimTime now);
+  std::string next_transaction_id();
+
+  std::uint64_t seed_;
+  EventQueue events_;
+  Endpoint router_endpoint_;
+  std::map<Endpoint, std::unique_ptr<DhtNode>> nodes_;
+  std::uint64_t next_transaction_ = 0;
+  std::uint64_t datagrams_ = 0;
+};
+
+}  // namespace btpub::dht

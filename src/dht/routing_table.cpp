@@ -1,0 +1,81 @@
+#include "dht/routing_table.hpp"
+
+#include <algorithm>
+
+namespace btpub::dht {
+
+void RoutingTable::observe(const NodeId& id, const Endpoint& endpoint,
+                           SimTime now) {
+  const int bit = distance_bit(distance(self_, id));
+  if (bit < 0) return;  // own id
+  Bucket& bucket = buckets_[static_cast<std::size_t>(bit)];
+
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
+                               [&](const Contact& c) { return c.id == id; });
+  if (it != bucket.end()) {
+    // Refresh: move to the most-recently-seen end, keeping the rest in
+    // last-seen order.
+    Contact refreshed = *it;
+    refreshed.endpoint = endpoint;
+    refreshed.last_seen = now;
+    bucket.erase(it);
+    bucket.push_back(refreshed);
+    return;
+  }
+  if (bucket.size() < kBucketSize) {
+    bucket.push_back(Contact{id, endpoint, now});
+    return;
+  }
+  // Full: the least-recently-seen contact sits at the front. Evict it only
+  // when stale; otherwise the newcomer loses.
+  if (now - bucket.front().last_seen > kStaleAfter) {
+    bucket.erase(bucket.begin());
+    bucket.push_back(Contact{id, endpoint, now});
+  }
+}
+
+void RoutingTable::remove(const NodeId& id) {
+  const int bit = distance_bit(distance(self_, id));
+  if (bit < 0) return;
+  Bucket& bucket = buckets_[static_cast<std::size_t>(bit)];
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
+                               [&](const Contact& c) { return c.id == id; });
+  if (it != bucket.end()) bucket.erase(it);
+}
+
+void RoutingTable::closest(const NodeId& target, std::size_t k,
+                           std::vector<Contact>& out) const {
+  // A full table holds at most 160*k contacts; gathering and sorting them
+  // all keeps the selection obviously total-ordered (XOR distances are
+  // unique per id, so the order is deterministic).
+  out.clear();
+  for (const Bucket& bucket : buckets_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(out.begin(), out.end(), [&](const Contact& a, const Contact& b) {
+    return closer(a.id, b.id, target);
+  });
+  if (out.size() > k) out.resize(k);
+}
+
+std::size_t RoutingTable::size() const noexcept {
+  std::size_t n = 0;
+  for (const Bucket& bucket : buckets_) n += bucket.size();
+  return n;
+}
+
+bool RoutingTable::contains(const NodeId& id) const {
+  const int bit = distance_bit(distance(self_, id));
+  if (bit < 0) return false;
+  const Bucket& bucket = buckets_[static_cast<std::size_t>(bit)];
+  return std::any_of(bucket.begin(), bucket.end(),
+                     [&](const Contact& c) { return c.id == id; });
+}
+
+std::size_t RoutingTable::active_buckets() const noexcept {
+  std::size_t n = 0;
+  for (const Bucket& bucket : buckets_) n += bucket.empty() ? 0 : 1;
+  return n;
+}
+
+}  // namespace btpub::dht

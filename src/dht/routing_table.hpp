@@ -1,0 +1,66 @@
+// routing_table.hpp — Kademlia k-bucket routing table (BEP 5).
+//
+// 160 buckets indexed by the bit length of the XOR distance to the owning
+// node's id; bucket i holds up to k contacts whose distance has its highest
+// set bit at position i. Within a bucket, contacts are kept ordered by
+// last-seen time (most recently seen last — the classic Kademlia LRU
+// discipline). A full bucket evicts its least-recently-seen contact only
+// when that contact has gone stale (no traffic for kStaleAfter); otherwise
+// the newcomer is dropped, which is what gives the DHT its resistance to
+// table-flushing churn. All policies are deterministic: no liveness pings,
+// no randomised replacement.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dht/node_id.hpp"
+#include "util/time.hpp"
+
+namespace btpub::dht {
+
+/// One routing-table contact.
+struct Contact {
+  NodeId id{};
+  Endpoint endpoint{};
+  SimTime last_seen = 0;
+};
+
+class RoutingTable {
+ public:
+  /// Contacts per bucket (the Mainline k).
+  static constexpr std::size_t kBucketSize = 8;
+  /// A contact this quiet may be evicted in favour of a newcomer.
+  static constexpr SimDuration kStaleAfter = minutes(15);
+
+  explicit RoutingTable(NodeId self) : self_(self) {}
+
+  const NodeId& self() const noexcept { return self_; }
+
+  /// Records traffic from a node: refreshes its last-seen slot or inserts
+  /// it, applying the full-bucket eviction policy. The own id is ignored.
+  void observe(const NodeId& id, const Endpoint& endpoint, SimTime now);
+
+  /// Removes a contact (used when an RPC to it times out).
+  void remove(const NodeId& id);
+
+  /// Appends up to `k` contacts closest to `target` (XOR order, closest
+  /// first) to `out`, which is cleared first.
+  void closest(const NodeId& target, std::size_t k,
+               std::vector<Contact>& out) const;
+
+  std::size_t size() const noexcept;
+  bool contains(const NodeId& id) const;
+
+  /// Number of non-empty buckets (diagnostic; the perf bench reports it).
+  std::size_t active_buckets() const noexcept;
+
+ private:
+  using Bucket = std::vector<Contact>;  // last-seen ascending
+
+  NodeId self_;
+  std::array<Bucket, 160> buckets_;
+};
+
+}  // namespace btpub::dht

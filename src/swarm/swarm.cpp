@@ -14,7 +14,7 @@ std::size_t count_distinct_downloader_ips(
     const std::vector<PeerSession>& sessions) {
   std::unordered_set<IpAddress> ips;
   for (const PeerSession& s : sessions) {
-    if (!s.is_publisher) ips.insert(s.endpoint.ip);
+    if (!s.is_publisher && !s.spoofed) ips.insert(s.endpoint.ip);
   }
   return ips.size();
 }

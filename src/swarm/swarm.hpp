@@ -34,6 +34,11 @@ struct PeerSession {
   SimTime complete_at = std::numeric_limits<SimTime>::max();
   bool nat = false;           // unreachable for direct peer-wire probes
   bool is_publisher = false;  // ground-truth marker (not visible on the wire)
+  /// Address announced to the tracker but not actually held (a fake
+  /// publisher's decoy injection). Spoofed peers are unreachable like NAT
+  /// ones and can never appear in the DHT, whose nodes store the announce
+  /// datagram's *source* address.
+  bool spoofed = false;
 
   bool seeder_at(SimTime t) const noexcept { return t >= complete_at; }
   bool present_at(SimTime t) const noexcept { return t >= arrive && t < depart; }
@@ -103,7 +108,7 @@ class Swarm {
   SimTime last_departure() const noexcept { return last_departure_; }
 
   /// Ground truth: number of distinct downloader IPs (excludes publisher
-  /// sessions). Cached at finalize() — validation benches call this once
+  /// and spoofed sessions — neither is a real downloader). Cached at finalize() — validation benches call this once
   /// per torrent and must not rebuild an IP set every time.
   std::size_t distinct_downloader_ips() const;
 

@@ -12,8 +12,33 @@ std::string MagnetLink::to_uri() const {
   for (const std::string& tracker : trackers) {
     uri += "&tr=" + url_escape(tracker);
   }
+  for (const Endpoint& peer : peers) {
+    uri += "&x.pe=" + url_escape(peer.to_string());
+  }
   return uri;
 }
+
+namespace {
+
+std::optional<Endpoint> parse_peer_hint(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto ip = IpAddress::parse(text.substr(0, colon));
+  if (!ip) return std::nullopt;
+  std::uint32_t port = 0;
+  for (const char c : text.substr(colon + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 0xffff) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  return Endpoint{*ip, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
 
 std::optional<MagnetLink> MagnetLink::parse(std::string_view uri) {
   static constexpr std::string_view kScheme = "magnet:?";
@@ -42,6 +67,10 @@ std::optional<MagnetLink> MagnetLink::parse(std::string_view uri) {
         link.display_name = url_unescape(raw);
       } else if (key == "tr") {
         link.trackers.push_back(url_unescape(raw));
+      } else if (key == "x.pe") {
+        const auto peer = parse_peer_hint(url_unescape(raw));
+        if (!peer) return std::nullopt;
+        link.peers.push_back(*peer);
       }
       // Other parameters (ws=, xl=, ...) are ignored.
     } catch (const std::invalid_argument&) {

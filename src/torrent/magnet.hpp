@@ -2,8 +2,9 @@
 //
 // By 2010 the portals had started offering magnet links next to .torrent
 // downloads; a measurement apparatus has to parse both. A magnet link
-// carries the infohash (xt=urn:btih:<40 hex>), a display name (dn=) and
-// tracker URLs (tr=).
+// carries the infohash (xt=urn:btih:<40 hex>), a display name (dn=),
+// tracker URLs (tr=) and direct peer hints (x.pe=<ip>:<port>, BEP 9) —
+// the trackerless entry points a DHT client bootstraps from.
 #pragma once
 
 #include <optional>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "crypto/sha1.hpp"
+#include "net/ip.hpp"
 
 namespace btpub {
 
@@ -19,12 +21,14 @@ struct MagnetLink {
   Sha1Digest infohash{};
   std::string display_name;           // optional
   std::vector<std::string> trackers;  // optional
+  std::vector<Endpoint> peers;        // optional x.pe peer hints
 
-  /// Renders "magnet:?xt=urn:btih:<hex>&dn=...&tr=...".
+  /// Renders "magnet:?xt=urn:btih:<hex>&dn=...&tr=...&x.pe=...".
   std::string to_uri() const;
 
   /// Parses a magnet URI; nullopt when the scheme or the infohash is
-  /// missing/malformed. Unknown parameters are ignored.
+  /// missing/malformed, or an x.pe hint is not a valid <ip>:<port>.
+  /// Unknown parameters are ignored.
   static std::optional<MagnetLink> parse(std::string_view uri);
 };
 

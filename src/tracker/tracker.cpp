@@ -145,16 +145,25 @@ void Tracker::announce_into(const AnnounceRequest& request, AnnounceReply& reply
   }
 }
 
+std::optional<Tracker::ScrapeCounts> Tracker::scrape_counts(
+    const Sha1Digest& infohash, SimTime now) {
+  const auto it = swarms_.find(infohash);
+  if (it == swarms_.end()) return std::nullopt;
+  const SwarmCounts counts = it->second->counts_at(now);
+  ScrapeCounts out;
+  out.complete = static_cast<std::uint32_t>(counts.seeders);
+  out.incomplete = static_cast<std::uint32_t>(counts.leechers);
+  out.downloaded = static_cast<std::uint32_t>(it->second->session_count());
+  return out;
+}
+
 std::string Tracker::scrape(const Sha1Digest& infohash, SimTime now) {
   bencode::Dict files;
-  const auto it = swarms_.find(infohash);
-  if (it != swarms_.end()) {
-    const SwarmCounts counts = it->second->counts_at(now);
+  if (const auto counts = scrape_counts(infohash, now)) {
     bencode::Dict entry;
-    entry.emplace("complete", static_cast<std::int64_t>(counts.seeders));
-    entry.emplace("incomplete", static_cast<std::int64_t>(counts.leechers));
-    entry.emplace("downloaded",
-                  static_cast<std::int64_t>(it->second->session_count()));
+    entry.emplace("complete", static_cast<std::int64_t>(counts->complete));
+    entry.emplace("incomplete", static_cast<std::int64_t>(counts->incomplete));
+    entry.emplace("downloaded", static_cast<std::int64_t>(counts->downloaded));
     files.emplace(
         std::string(reinterpret_cast<const char*>(infohash.bytes.data()),
                     infohash.bytes.size()),

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -90,8 +91,20 @@ class Tracker {
   void announce_into(const AnnounceRequest& request, AnnounceReply& reply,
                      AnnounceScratch& scratch);
 
+  /// Scrape counters for one swarm at time `now`; nullopt when the
+  /// infohash is not hosted. `downloaded` follows the convention the
+  /// bencoded scrape established: total sessions ever seen by the swarm.
+  struct ScrapeCounts {
+    std::uint32_t complete = 0;    // seeders
+    std::uint32_t downloaded = 0;  // snatches
+    std::uint32_t incomplete = 0;  // leechers
+  };
+  std::optional<ScrapeCounts> scrape_counts(const Sha1Digest& infohash,
+                                            SimTime now);
+
   /// Scrape: bencoded per-infohash {complete, incomplete} counters at
-  /// time `now`.
+  /// time `now`. Shares its counters with the UDP scrape action via
+  /// scrape_counts().
   std::string scrape(const Sha1Digest& infohash, SimTime now);
 
   bool is_blacklisted(IpAddress client) const;

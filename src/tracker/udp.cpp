@@ -160,6 +160,74 @@ std::optional<UdpAnnounceResponse> UdpAnnounceResponse::decode(
   return res;
 }
 
+// ---- scrape ---------------------------------------------------------------
+
+std::string UdpScrapeRequest::encode() const {
+  std::string out;
+  out.reserve(16 + infohashes.size() * 20);
+  put_u64(out, connection_id);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Scrape));
+  put_u32(out, transaction_id);
+  for (const Sha1Digest& infohash : infohashes) {
+    out.append(reinterpret_cast<const char*>(infohash.bytes.data()), 20);
+  }
+  return out;
+}
+
+std::optional<UdpScrapeRequest> UdpScrapeRequest::decode(
+    std::string_view datagram) {
+  if (datagram.size() < 36 || (datagram.size() - 16) % 20 != 0) {
+    return std::nullopt;
+  }
+  if (get_u32(datagram, 8) != static_cast<std::uint32_t>(UdpAction::Scrape)) {
+    return std::nullopt;
+  }
+  const std::size_t n = (datagram.size() - 16) / 20;
+  if (n > kMaxInfohashes) return std::nullopt;
+  UdpScrapeRequest req;
+  req.connection_id = get_u64(datagram, 0);
+  req.transaction_id = get_u32(datagram, 12);
+  req.infohashes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(req.infohashes[i].bytes.data(), datagram.data() + 16 + i * 20,
+                20);
+  }
+  return req;
+}
+
+std::string UdpScrapeResponse::encode() const {
+  std::string out;
+  out.reserve(8 + entries.size() * 12);
+  put_u32(out, static_cast<std::uint32_t>(UdpAction::Scrape));
+  put_u32(out, transaction_id);
+  for (const UdpScrapeEntry& entry : entries) {
+    put_u32(out, entry.seeders);
+    put_u32(out, entry.completed);
+    put_u32(out, entry.leechers);
+  }
+  return out;
+}
+
+std::optional<UdpScrapeResponse> UdpScrapeResponse::decode(
+    std::string_view datagram) {
+  if (datagram.size() < 8 || (datagram.size() - 8) % 12 != 0) {
+    return std::nullopt;
+  }
+  if (get_u32(datagram, 0) != static_cast<std::uint32_t>(UdpAction::Scrape)) {
+    return std::nullopt;
+  }
+  UdpScrapeResponse res;
+  res.transaction_id = get_u32(datagram, 4);
+  for (std::size_t at = 8; at < datagram.size(); at += 12) {
+    UdpScrapeEntry entry;
+    entry.seeders = get_u32(datagram, at);
+    entry.completed = get_u32(datagram, at + 4);
+    entry.leechers = get_u32(datagram, at + 8);
+    res.entries.push_back(entry);
+  }
+  return res;
+}
+
 // ---- error ----------------------------------------------------------------
 
 std::string UdpErrorResponse::encode() const {

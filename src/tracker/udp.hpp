@@ -74,6 +74,37 @@ struct UdpAnnounceResponse {
   static std::optional<UdpAnnounceResponse> decode(std::string_view datagram);
 };
 
+/// Scrape request: connection id, action=2, transaction id, then 1..74
+/// infohashes of 20 bytes each (BEP 15's packet-size cap).
+struct UdpScrapeRequest {
+  std::uint64_t connection_id = 0;
+  std::uint32_t transaction_id = 0;
+  std::vector<Sha1Digest> infohashes;
+
+  static constexpr std::size_t kMaxInfohashes = 74;
+
+  std::string encode() const;
+  static std::optional<UdpScrapeRequest> decode(std::string_view datagram);
+};
+
+/// Scrape response: one {seeders, completed, leechers} triple per
+/// requested infohash, in request order.
+struct UdpScrapeEntry {
+  std::uint32_t seeders = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t leechers = 0;
+
+  bool operator==(const UdpScrapeEntry&) const = default;
+};
+
+struct UdpScrapeResponse {
+  std::uint32_t transaction_id = 0;
+  std::vector<UdpScrapeEntry> entries;
+
+  std::string encode() const;
+  static std::optional<UdpScrapeResponse> decode(std::string_view datagram);
+};
+
 struct UdpErrorResponse {
   std::uint32_t transaction_id = 0;
   std::string message;

@@ -10,10 +10,28 @@ std::string UdpTrackerEndpoint::error(std::uint32_t transaction_id,
   return res.encode();
 }
 
+bool UdpTrackerEndpoint::connection_valid(std::uint64_t id,
+                                          const Endpoint& from,
+                                          SimTime now) const {
+  const auto it = connections_.find(id);
+  return it != connections_.end() && now - it->second.issued <= kConnectionTtl &&
+         it->second.ip == from.ip.value();
+}
+
+void UdpTrackerEndpoint::prune_expired(SimTime now) {
+  std::erase_if(connections_, [&](const auto& entry) {
+    return now - entry.second.issued > kConnectionTtl;
+  });
+}
+
 std::string UdpTrackerEndpoint::handle(std::string_view datagram,
                                        const Endpoint& from, SimTime now) {
   // Connect?
   if (const auto connect = UdpConnectRequest::decode(datagram)) {
+    // Amortized cleanup: every handshake sweeps out ids past their TTL, so
+    // the table tracks the live client population instead of growing with
+    // the total number of handshakes ever made.
+    prune_expired(now);
     std::uint64_t id = rng_.next();
     while (connections_.contains(id)) id = rng_.next();
     connections_.emplace(id, Connection{now, from.ip.value()});
@@ -24,9 +42,7 @@ std::string UdpTrackerEndpoint::handle(std::string_view datagram,
   }
   // Announce?
   if (const auto announce = UdpAnnounceRequest::decode(datagram)) {
-    const auto it = connections_.find(announce->connection_id);
-    if (it == connections_.end() || now - it->second.issued > kConnectionTtl ||
-        it->second.ip != from.ip.value()) {
+    if (!connection_valid(announce->connection_id, from, now)) {
       return error(announce->transaction_id, "invalid connection id");
     }
     AnnounceRequest request;
@@ -46,6 +62,27 @@ std::string UdpTrackerEndpoint::handle(std::string_view datagram,
     res.leechers = reply.incomplete;
     res.seeders = reply.complete;
     res.peers = reply.peers;
+    return res.encode();
+  }
+  // Scrape?
+  if (const auto scrape = UdpScrapeRequest::decode(datagram)) {
+    if (!connection_valid(scrape->connection_id, from, now)) {
+      return error(scrape->transaction_id, "invalid connection id");
+    }
+    UdpScrapeResponse res;
+    res.transaction_id = scrape->transaction_id;
+    res.entries.reserve(scrape->infohashes.size());
+    for (const Sha1Digest& infohash : scrape->infohashes) {
+      // Unhosted infohashes scrape as all-zero rows; the datagram must
+      // keep one entry per request entry so positions line up.
+      UdpScrapeEntry entry;
+      if (const auto counts = tracker_->scrape_counts(infohash, now)) {
+        entry.seeders = counts->complete;
+        entry.completed = counts->downloaded;
+        entry.leechers = counts->incomplete;
+      }
+      res.entries.push_back(entry);
+    }
     return res.encode();
   }
   // Anything else: protocol violation. BEP 15 says to ignore, but an error

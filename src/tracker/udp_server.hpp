@@ -20,9 +20,15 @@ class UdpTrackerEndpoint {
       : tracker_(&tracker), rng_(rng) {}
 
   /// Handles one request datagram from `from` at simulated time `now` and
-  /// returns the response datagram (connect / announce / error).
+  /// returns the response datagram (connect / announce / scrape / error).
   std::string handle(std::string_view datagram, const Endpoint& from,
                      SimTime now);
+
+  /// Connection ids still honoured right now; stale ids are pruned on
+  /// connect, so this cannot grow beyond the live client population.
+  std::size_t active_connections() const noexcept {
+    return connections_.size();
+  }
 
   static constexpr SimDuration kConnectionTtl = minutes(2);
 
@@ -33,6 +39,11 @@ class UdpTrackerEndpoint {
   };
 
   std::string error(std::uint32_t transaction_id, std::string message) const;
+  /// A connection id is valid up to and INCLUDING kConnectionTtl after
+  /// issue, and only from the address it was issued to.
+  bool connection_valid(std::uint64_t id, const Endpoint& from,
+                        SimTime now) const;
+  void prune_expired(SimTime now);
 
   Tracker* tracker_;
   Rng rng_;

@@ -238,6 +238,23 @@ TEST(WireMessages, PortMessageRoundTrip) {
   EXPECT_THROW(parse_port_message("x"), std::invalid_argument);
 }
 
+TEST(WireMessages, PortMessageBoundaryValues) {
+  // <len=3><id=9><2-byte big-endian port>; both ends of the port range
+  // survive the round trip and the message is always 7 bytes on the wire.
+  for (const std::uint16_t port : {std::uint16_t{1}, std::uint16_t{0xffff}}) {
+    const std::string wire = encode_port_message(port);
+    ASSERT_EQ(wire.size(), 7u);
+    std::size_t pos = 0;
+    const auto decoded = decode_message(wire, pos);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, WireMessageType::Port);
+    EXPECT_EQ(parse_port_message(decoded->payload), port);
+    EXPECT_EQ(pos, wire.size());
+  }
+  // Over-long payloads are rejected too, not just truncated ones.
+  EXPECT_THROW(parse_port_message("abc"), std::invalid_argument);
+}
+
 TEST(WireMessages, FullDownloadConversation) {
   // A leecher fetching one piece from a seeder, message by message:
   // handshake exchange, bitfield, interested/unchoke, request, piece, have.

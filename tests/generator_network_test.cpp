@@ -199,6 +199,17 @@ TEST_F(NetworkTest, ProbeReachablePeerYieldsWireBytes) {
   EXPECT_TRUE(Bitfield::from_bytes(msg->payload, 40).complete());
 }
 
+TEST_F(NetworkTest, ProbeAdvertisesDhtPortForConnectablePeers) {
+  const Endpoint peer{IpAddress(10, 0, 0, 1), 6881};
+  const auto result = network_.probe(swarm_.infohash(), peer, 10);
+  ASSERT_TRUE(result.has_value());
+  std::size_t pos = 0;
+  const auto msg = decode_message(result->port, pos);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, WireMessageType::Port);
+  EXPECT_EQ(parse_port_message(msg->payload), peer.port);
+}
+
 TEST_F(NetworkTest, ProbePartialDownloaderNotComplete) {
   const auto result =
       network_.probe(swarm_.infohash(), Endpoint{IpAddress(10, 0, 0, 3), 6881}, 250);

@@ -50,6 +50,47 @@ TEST(Magnet, IgnoresUnknownParameters) {
   EXPECT_EQ(parsed->infohash, Sha1::hash("z"));
 }
 
+TEST(Magnet, PeerHintsRoundTrip) {
+  MagnetLink link;
+  link.infohash = Sha1::hash("hinted");
+  link.peers = {{IpAddress(83, 45, 1, 9), 6881},
+                {IpAddress(10, 99, 0, 1), 51413}};
+  const std::string uri = link.to_uri();
+  // ':' is not an unreserved character, so the hint is escaped on the wire.
+  EXPECT_NE(uri.find("x.pe=83.45.1.9%3A6881"), std::string::npos);
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->peers, link.peers);
+}
+
+TEST(Magnet, PeerHintParsesUnescapedColonToo) {
+  const std::string uri = "magnet:?xt=urn:btih:" + Sha1::hash("h").hex() +
+                          "&x.pe=192.168.1.2:6881";
+  const auto parsed = MagnetLink::parse(uri);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->peers.size(), 1u);
+  EXPECT_EQ(parsed->peers[0], (Endpoint{IpAddress(192, 168, 1, 2), 6881}));
+}
+
+class BadPeerHint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadPeerHint, Rejected) {
+  const std::string uri = "magnet:?xt=urn:btih:" + Sha1::hash("h").hex() +
+                          "&x.pe=" + GetParam();
+  EXPECT_FALSE(MagnetLink::parse(uri).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadPeerHint,
+    ::testing::Values("1.2.3.4",            // no port
+                      "1.2.3.4:",           // empty port
+                      ":6881",              // no host
+                      "1.2.3.4:0",          // port zero
+                      "1.2.3.4:65536",      // port overflow
+                      "1.2.3.4:68x1",       // non-digit port
+                      "not-an-ip:6881",     // bad address
+                      "1.2.3:6881"));       // short address
+
 class BadMagnet : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BadMagnet, Rejected) {

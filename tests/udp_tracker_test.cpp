@@ -89,6 +89,52 @@ TEST(UdpPackets, AnnounceResponseRejectsRaggedPeerList) {
   EXPECT_FALSE(UdpAnnounceResponse::decode(wire).has_value());
 }
 
+TEST(UdpPackets, ScrapeRequestRoundTrip) {
+  UdpScrapeRequest req;
+  req.connection_id = 77;
+  req.transaction_id = 13;
+  req.infohashes = {Sha1::hash("a"), Sha1::hash("b"), Sha1::hash("c")};
+  const std::string wire = req.encode();
+  ASSERT_EQ(wire.size(), 16u + 3 * 20);
+  const auto decoded = UdpScrapeRequest::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->connection_id, 77u);
+  EXPECT_EQ(decoded->transaction_id, 13u);
+  EXPECT_EQ(decoded->infohashes, req.infohashes);
+}
+
+TEST(UdpPackets, ScrapeRequestRejectsEmptyRaggedAndOversized) {
+  UdpScrapeRequest req;
+  req.infohashes = {Sha1::hash("x")};
+  std::string wire = req.encode();
+  EXPECT_FALSE(UdpScrapeRequest::decode(wire.substr(0, 16)).has_value());
+  wire.pop_back();  // ragged infohash list
+  EXPECT_FALSE(UdpScrapeRequest::decode(wire).has_value());
+  req.infohashes.assign(UdpScrapeRequest::kMaxInfohashes + 1, Sha1::hash("y"));
+  EXPECT_FALSE(UdpScrapeRequest::decode(req.encode()).has_value());
+}
+
+TEST(UdpPackets, ScrapeResponseRoundTrip) {
+  UdpScrapeResponse res;
+  res.transaction_id = 21;
+  res.entries = {{5, 120, 31}, {0, 0, 0}};
+  const std::string wire = res.encode();
+  ASSERT_EQ(wire.size(), 8u + 2 * 12);
+  EXPECT_EQ(udp_response_action(wire), UdpAction::Scrape);
+  const auto decoded = UdpScrapeResponse::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->transaction_id, 21u);
+  EXPECT_EQ(decoded->entries, res.entries);
+}
+
+TEST(UdpPackets, ScrapeResponseRejectsRaggedEntries) {
+  UdpScrapeResponse res;
+  res.entries = {{1, 2, 3}};
+  std::string wire = res.encode();
+  wire.pop_back();
+  EXPECT_FALSE(UdpScrapeResponse::decode(wire).has_value());
+}
+
 TEST(UdpPackets, ErrorRoundTripAndActionPeek) {
   UdpErrorResponse err;
   err.transaction_id = 3;
@@ -174,6 +220,31 @@ TEST_F(UdpEndpointTest, ConnectionIdExpires) {
   EXPECT_EQ(err->message, "invalid connection id");
 }
 
+TEST_F(UdpEndpointTest, ConnectionIdValidAtExactTtlBoundary) {
+  const Endpoint client{IpAddress(9, 9, 9, 9), 7000};
+  const std::uint64_t id = connect(client, 100);
+  // BEP 15: a connection id is good for two minutes — inclusive. One past
+  // the boundary is the first rejected instant.
+  const SimTime boundary = 100 + UdpTrackerEndpoint::kConnectionTtl;
+  const auto ok = UdpAnnounceResponse::decode(announce(id, client, boundary));
+  ASSERT_TRUE(ok.has_value());
+  const auto err =
+      UdpErrorResponse::decode(announce(id, client, boundary + 1));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "invalid connection id");
+}
+
+TEST_F(UdpEndpointTest, StaleConnectionsArePrunedOnConnect) {
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    connect(Endpoint{IpAddress(0x09000000 + i), 7000}, 100);
+  }
+  EXPECT_EQ(endpoint_.active_connections(), 50u);
+  // A single handshake past every TTL sweeps the whole table.
+  const SimTime later = 100 + UdpTrackerEndpoint::kConnectionTtl + 1;
+  connect(Endpoint{IpAddress(9, 0, 0, 99), 7000}, later);
+  EXPECT_EQ(endpoint_.active_connections(), 1u);
+}
+
 TEST_F(UdpEndpointTest, ConnectionIdBoundToSenderAddress) {
   const Endpoint alice{IpAddress(9, 9, 9, 9), 7000};
   const Endpoint mallory{IpAddress(6, 6, 6, 6), 7000};
@@ -204,6 +275,55 @@ TEST_F(UdpEndpointTest, TrackerFailuresSurfaceAsErrors) {
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(err->message, "unregistered torrent");
   EXPECT_EQ(err->transaction_id, 5u);
+}
+
+TEST_F(UdpEndpointTest, ScrapeReturnsSwarmCountersInRequestOrder) {
+  const Endpoint client{IpAddress(9, 9, 9, 5), 7000};
+  const std::uint64_t id = connect(client, 100);
+  UdpScrapeRequest req;
+  req.connection_id = id;
+  req.transaction_id = 9;
+  req.infohashes = {Sha1::hash("not hosted"), swarm_.infohash()};
+  const auto res =
+      UdpScrapeResponse::decode(endpoint_.handle(req.encode(), client, 150));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->transaction_id, 9u);
+  ASSERT_EQ(res->entries.size(), 2u);
+  // Unknown infohash scrapes as zeros, in position.
+  EXPECT_EQ(res->entries[0], UdpScrapeEntry{});
+  EXPECT_EQ(res->entries[1].seeders, 1u);
+  EXPECT_EQ(res->entries[1].leechers, 39u);
+  EXPECT_EQ(res->entries[1].completed, 40u);  // total sessions ever
+}
+
+TEST_F(UdpEndpointTest, ScrapeAgreesWithBencodedScrape) {
+  const Endpoint client{IpAddress(9, 9, 9, 4), 7000};
+  const std::uint64_t id = connect(client, 100);
+  UdpScrapeRequest req;
+  req.connection_id = id;
+  req.transaction_id = 1;
+  req.infohashes = {swarm_.infohash()};
+  const auto res =
+      UdpScrapeResponse::decode(endpoint_.handle(req.encode(), client, 150));
+  ASSERT_TRUE(res.has_value());
+  const auto counts = tracker_.scrape_counts(swarm_.infohash(), 150);
+  ASSERT_TRUE(counts.has_value());
+  EXPECT_EQ(res->entries[0].seeders, counts->complete);
+  EXPECT_EQ(res->entries[0].leechers, counts->incomplete);
+  EXPECT_EQ(res->entries[0].completed, counts->downloaded);
+}
+
+TEST_F(UdpEndpointTest, ScrapeWithoutConnectFails) {
+  const Endpoint client{IpAddress(9, 9, 9, 3), 7000};
+  UdpScrapeRequest req;
+  req.connection_id = 0xBADBAD;
+  req.transaction_id = 4;
+  req.infohashes = {swarm_.infohash()};
+  const auto err =
+      UdpErrorResponse::decode(endpoint_.handle(req.encode(), client, 100));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->message, "invalid connection id");
+  EXPECT_EQ(err->transaction_id, 4u);
 }
 
 TEST_F(UdpEndpointTest, MalformedDatagramGetsError) {

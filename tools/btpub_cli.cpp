@@ -8,6 +8,9 @@
 //       dump torrents/publishers/sightings as CSV
 //   btpub feed --scenario quick --seed 7
 //       print the portal's RSS 2.0 XML after a simulated day
+//   btpub dht-crawl --scenario spoofed --seed 42 --out spoofed_dht.ds
+//       run the trackerless (DHT) vantage next to the tracker crawl and
+//       print the cross-check report (tracker-vs-DHT disagreement flags)
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure.
 #include <cstdio>
@@ -21,6 +24,7 @@
 #include "analysis/contribution.hpp"
 #include "analysis/groups.hpp"
 #include "core/ecosystem.hpp"
+#include "crawler/cross_check.hpp"
 #include "crawler/dataset_io.hpp"
 #include "portal/rss.hpp"
 #include "util/strings.hpp"
@@ -33,11 +37,14 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  btpub simulate --scenario <pb10|pb09|mn08|signature|quick>"
+               "  btpub simulate --scenario"
+               " <pb10|pb09|mn08|signature|quick|spoofed>"
                " [--seed N] [--threads N] --out FILE\n"
                "  btpub analyze FILE [--top N]\n"
                "  btpub export FILE OUT_DIR\n"
-               "  btpub feed [--scenario NAME] [--seed N]\n");
+               "  btpub feed [--scenario NAME] [--seed N]\n"
+               "  btpub dht-crawl [--scenario NAME] [--seed N] [--out FILE]"
+               " [--bootstrap MAGNET]\n");
   return 1;
 }
 
@@ -47,6 +54,7 @@ ScenarioConfig scenario_by_name(const std::string& name, std::uint64_t seed) {
   if (name == "mn08") return ScenarioConfig::mn08(seed);
   if (name == "signature") return ScenarioConfig::signature(seed);
   if (name == "quick") return ScenarioConfig::quick(seed);
+  if (name == "spoofed") return ScenarioConfig::spoofed(seed);
   throw std::invalid_argument("unknown scenario '" + name + "'");
 }
 
@@ -58,6 +66,8 @@ struct Options {
   /// Crawl worker threads; 0 = hardware concurrency. The dataset is
   /// byte-identical for every value.
   std::size_t threads = 0;
+  /// dht-crawl: magnet URI whose x.pe hints bootstrap the DHT vantage.
+  std::string bootstrap;
   std::vector<std::string> positional;
 };
 
@@ -79,6 +89,8 @@ Options parse_options(int argc, char** argv, int first) {
       options.top_n = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--threads") {
       options.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--bootstrap") {
+      options.bootstrap = next();
     } else if (starts_with(arg, "--")) {
       throw std::invalid_argument("unknown option " + arg);
     } else {
@@ -196,6 +208,46 @@ int cmd_export(const Options& options) {
   return 0;
 }
 
+int cmd_dht_crawl(const Options& options) {
+  ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  config.crawler.threads = options.threads;
+  config.dht_crawler.bootstrap_magnet = options.bootstrap;
+  std::fprintf(stderr, "building %s (seed %llu)...\n", config.name.c_str(),
+               static_cast<unsigned long long>(config.seed));
+  Ecosystem ecosystem(config);
+  ecosystem.build();
+  std::fprintf(stderr, "crawling %zu torrents from both vantages...\n",
+               ecosystem.torrent_count());
+  const Dataset tracker_view = ecosystem.crawl();
+  const Dataset dht_view = ecosystem.dht_crawl();
+  if (!options.out.empty()) save_dataset(dht_view, options.out);
+
+  const CrossCheckReport report = cross_check(tracker_view, dht_view);
+  AsciiTable summary("Tracker vs DHT (" + config.name + ")");
+  summary.header({"metric", "value"});
+  summary.row({"torrents (tracker)", std::to_string(tracker_view.torrent_count())});
+  summary.row({"torrents (dht)", std::to_string(dht_view.torrent_count())});
+  summary.row({"matched", std::to_string(report.matched_count())});
+  summary.row({"flagged (spoof signature)", std::to_string(report.flagged_count())});
+  summary.print();
+
+  AsciiTable flagged("Flagged torrents");
+  flagged.header({"portal_id", "tracker peers", "dht peers", "overlap",
+                  "publisher in dht"});
+  for (const TorrentCrossCheck& check : report.torrents) {
+    if (!check.flagged) continue;
+    flagged.row({std::to_string(check.portal_id),
+                 std::to_string(check.tracker_peers),
+                 std::to_string(check.dht_peers),
+                 format_double(check.overlap * 100.0, 1) + "%",
+                 check.tracker_publisher_ip
+                     ? (check.publisher_in_dht ? "yes" : "NO")
+                     : "n/a"});
+  }
+  flagged.print();
+  return 0;
+}
+
 int cmd_feed(const Options& options) {
   ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
   config.window = days(1);
@@ -218,6 +270,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(options);
     if (command == "export") return cmd_export(options);
     if (command == "feed") return cmd_feed(options);
+    if (command == "dht-crawl") return cmd_dht_crawl(options);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "btpub: %s\n", e.what());
