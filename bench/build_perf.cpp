@@ -1,0 +1,261 @@
+// build_perf — machine-readable perf baseline for ecosystem construction
+// and DHT-overlay scheduling. Times Ecosystem::build() at several thread
+// counts plus build_dht_overlay() (typed lazy cursors), and writes wall
+// time, peak RSS and the event-queue counters to a JSON file so CI can
+// archive a perf trajectory across PRs.
+//
+// Every case runs in a fork()ed child so its peak RSS is its own: RSS is
+// monotone per process, so back-to-back cases in one process would all
+// report the largest predecessor's footprint. The child ships a POD result
+// record back over a pipe.
+//
+// The overlay case also replays the scheduled life through the window:
+// `dispatched` is then the number of occurrences an eager scheduler would
+// have heap-allocated closures for up front, while `pending_after_build`
+// is what the lazy typed cursors actually kept in memory — the
+// O(sessions x window/30min) vs O(sessions) headline.
+//
+// Usage: build_perf [--json PATH] [--threads N] [--scenario NAME]
+//                   [--seed N] [--quick]
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ecosystem.hpp"
+
+namespace btpub {
+namespace {
+
+struct Options {
+  std::string json_path = "BENCH_build.json";
+  std::string scenario = "quick";
+  std::uint64_t seed = 42;
+  /// The parallel case's worker count (the "N" in 1-vs-N).
+  std::size_t threads = 4;
+  bool quick = false;
+};
+
+ScenarioConfig scenario_by_name(const Options& opt) {
+  ScenarioConfig config;
+  if (opt.scenario == "pb10") {
+    config = ScenarioConfig::pb10(opt.seed);
+  } else if (opt.scenario == "pb09") {
+    config = ScenarioConfig::pb09(opt.seed);
+  } else if (opt.scenario == "mn08") {
+    config = ScenarioConfig::mn08(opt.seed);
+  } else if (opt.scenario == "signature") {
+    config = ScenarioConfig::signature(opt.seed);
+  } else if (opt.scenario == "spoofed") {
+    config = ScenarioConfig::spoofed(opt.seed);
+  } else {
+    config = ScenarioConfig::quick(opt.seed);
+  }
+  if (opt.quick) {
+    // CI smoke: a third of the reference population, half the window.
+    config.window = days(4);
+    config.population.regular_publishers /= 3;
+  }
+  return config;
+}
+
+/// POD shipped child -> parent over the pipe.
+struct CaseResult {
+  double seconds = 0.0;
+  long peak_rss_kb = 0;
+  std::uint64_t torrents = 0;
+  std::uint64_t publication_events = 0;
+  std::uint64_t pending_after_build = 0;
+  std::uint64_t typed_scheduled = 0;
+  std::uint64_t callbacks_scheduled = 0;
+  std::uint64_t dispatched = 0;
+};
+
+long peak_rss_kb_self() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// phase: "ecosystem_build" times Ecosystem::build() alone;
+/// "dht_overlay" builds first, then times overlay construction and replays
+/// the scheduled life through the crawl horizon.
+CaseResult run_case(const std::string& phase, std::size_t threads,
+                    const Options& opt) {
+  ScenarioConfig config = scenario_by_name(opt);
+  config.threads = threads;
+  CaseResult result;
+  Ecosystem ecosystem(config);
+
+  if (phase == "ecosystem_build") {
+    const auto t0 = std::chrono::steady_clock::now();
+    ecosystem.build();
+    const auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  } else {
+    ecosystem.build();
+    const SimTime horizon = config.window + config.dht_crawler.grace;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto overlay = ecosystem.build_dht_overlay(horizon);
+    const auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.pending_after_build = overlay->events().pending();
+    result.typed_scheduled = overlay->events().typed_scheduled();
+    result.callbacks_scheduled = overlay->events().callbacks_scheduled();
+    overlay->advance_to(horizon);  // replay: every join/announce/leave fires
+    result.dispatched = overlay->events().dispatched();
+  }
+  result.peak_rss_kb = peak_rss_kb_self();
+  result.torrents = ecosystem.torrent_count();
+  result.publication_events = ecosystem.build_stats().publication_events;
+  return result;
+}
+
+/// Runs one case in a forked child so peak RSS is per-case.
+CaseResult run_case_forked(const std::string& phase, std::size_t threads,
+                           const Options& opt) {
+  int fd[2];
+  if (pipe(fd) != 0) {
+    std::perror("build_perf: pipe");
+    std::exit(2);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("build_perf: fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    close(fd[0]);
+    const CaseResult result = run_case(phase, threads, opt);
+    ssize_t wrote = write(fd[1], &result, sizeof result);
+    _exit(wrote == static_cast<ssize_t>(sizeof result) ? 0 : 3);
+  }
+  close(fd[1]);
+  CaseResult result;
+  const ssize_t got = read(fd[0], &result, sizeof result);
+  close(fd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof result) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "build_perf: %s@%zu child failed\n", phase.c_str(),
+                 threads);
+    std::exit(2);
+  }
+  return result;
+}
+
+struct Row {
+  std::string phase;
+  std::size_t threads;
+  CaseResult r;
+};
+
+void write_json(const Options& opt, const ScenarioConfig& config,
+                const std::vector<Row>& rows, double speedup) {
+  std::ofstream out(opt.json_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "build_perf: cannot open %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"benchmark\": \"ecosystem_build\",\n";
+  out << "  \"config\": {\"scenario\": \"" << config.name << "\", \"seed\": "
+      << config.seed << ", \"window_days\": " << (config.window / kDay)
+      << ", \"quick\": " << (opt.quick ? "true" : "false") << "},\n";
+  char line[512];
+  std::snprintf(line, sizeof line, "  \"build_speedup_%zu_threads\": %.2f,\n",
+                opt.threads, speedup);
+  out << line;
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::snprintf(
+        line, sizeof line,
+        "    {\"phase\": \"%s\", \"threads\": %zu, \"seconds\": %.4f, "
+        "\"peak_rss_kb\": %ld, \"torrents\": %llu, "
+        "\"pending_after_build\": %llu, \"typed_scheduled\": %llu, "
+        "\"callbacks_scheduled\": %llu, \"dispatched\": %llu}%s\n",
+        row.phase.c_str(), row.threads, row.r.seconds, row.r.peak_rss_kb,
+        static_cast<unsigned long long>(row.r.torrents),
+        static_cast<unsigned long long>(row.r.pending_after_build),
+        static_cast<unsigned long long>(row.r.typed_scheduled),
+        static_cast<unsigned long long>(row.r.callbacks_scheduled),
+        static_cast<unsigned long long>(row.r.dispatched),
+        i + 1 < rows.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "build_perf: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--scenario") {
+      opt.scenario = next();
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: build_perf [--json PATH] [--threads N] "
+                   "[--scenario NAME] [--seed N] [--quick]\n");
+      return 2;
+    }
+  }
+  if (opt.threads < 2) opt.threads = 2;
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : {std::size_t{1}, opt.threads}) {
+    std::fprintf(stderr, "build_perf: ecosystem_build @%zu thread(s)...\n",
+                 threads);
+    rows.push_back(Row{"ecosystem_build", threads,
+                       run_case_forked("ecosystem_build", threads, opt)});
+  }
+  std::fprintf(stderr, "build_perf: dht_overlay construction + replay...\n");
+  rows.push_back(
+      Row{"dht_overlay", 1, run_case_forked("dht_overlay", 1, opt)});
+
+  const double speedup = rows[0].r.seconds / rows[1].r.seconds;
+  const ScenarioConfig config = scenario_by_name(opt);
+  write_json(opt, config, rows, speedup);
+
+  std::printf("build: %.3fs @1 thread, %.3fs @%zu threads (%.2fx), %llu "
+              "torrents\n",
+              rows[0].r.seconds, rows[1].r.seconds, opt.threads, speedup,
+              static_cast<unsigned long long>(rows[0].r.torrents));
+  std::printf("overlay: %.3fs construct, %llu pending cursors, %llu closures, "
+              "%llu occurrences replayed\n",
+              rows[2].r.seconds,
+              static_cast<unsigned long long>(rows[2].r.pending_after_build),
+              static_cast<unsigned long long>(rows[2].r.callbacks_scheduled),
+              static_cast<unsigned long long>(rows[2].r.dispatched));
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace btpub
+
+int main(int argc, char** argv) { return btpub::run(argc, argv); }

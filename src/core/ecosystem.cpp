@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <future>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "crawler/crawler.hpp"
 #include "crawler/dht_crawler.hpp"
 #include "torrent/metainfo.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace btpub {
 namespace {
@@ -17,21 +22,23 @@ namespace {
 constexpr SimDuration kDhtReannounce = minutes(30);
 static_assert(kDhtReannounce < dht::PeerStore::kPeerTtl);
 
-std::size_t sample_poisson_count(double mean, Rng& rng) {
-  if (mean <= 0.0) return 0;
-  if (mean < 64.0) {
-    const double limit = std::exp(-mean);
-    std::size_t k = 0;
-    double product = rng.uniform();
-    while (product > limit) {
-      ++k;
-      product *= rng.uniform();
-    }
-    return k;
-  }
-  const double draw = rng.normal(mean, std::sqrt(mean));
-  return draw <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(draw));
-}
+/// Safety clamp on one publisher's backfilled history (a runaway
+/// historical_rate * lifetime product would otherwise stall the build).
+/// Hitting it is recorded in BuildStats and warned about — a silently
+/// truncated history would skew the Table-4 longitudinal study.
+constexpr std::size_t kBackfillEventCap = 200000;
+
+// Substream tags: every random stream the ecosystem owns is keyed off the
+// scenario seed through derive_seed with one of these, so no two phases
+// can correlate and no phase's draw count perturbs another. The spoof,
+// overlay and DHT-crawl tags predate this scheme and are kept verbatim.
+constexpr std::uint64_t kTagPublicationEvents = 0x9E17ull;  ///< + publisher id
+constexpr std::uint64_t kTagPublication = 0x6B01ull;        ///< + event index
+constexpr std::uint64_t kTagSpoofedDecoys = 0x5F00Full;     ///< + event index
+constexpr std::uint64_t kTagDhtOverlay = 0xD47ull;
+constexpr std::uint64_t kTagDhtCrawl = 0xDC13ull;
+constexpr std::uint64_t kTagTrackerCrawlState = 0x7214CBull;
+constexpr std::uint64_t kTagCrawler = 0xC4A37E5ull;
 
 }  // namespace
 
@@ -51,7 +58,7 @@ void Ecosystem::build() {
 
   tracker_ = std::make_unique<Tracker>(config_.tracker, rng_.fork());
 
-  consumers_ = std::make_unique<ConsumerPool>(catalog_, rng_.fork());
+  consumers_ = std::make_unique<ConsumerPool>(catalog_);
   consumers_->set_sticky_bias(config_.sticky_consumer_bias);
   for (const auto& [endpoint, weight] : population_.sticky_consumers) {
     consumers_->add_sticky(endpoint, weight);
@@ -72,8 +79,16 @@ void Ecosystem::backfill_history() {
     const double days_before = p.lifetime_days - window_days;
     if (days_before <= 0.0) continue;
     const double mean = p.historical_rate * days_before;
-    const std::size_t n =
-        std::min<std::size_t>(sample_poisson_count(mean, rng_), 200000);
+    const std::size_t drawn = sample_poisson(mean, rng_);
+    const std::size_t n = std::min(drawn, kBackfillEventCap);
+    if (drawn > n) {
+      ++build_stats_.backfill_clamped_publishers;
+      build_stats_.backfill_clamped_events += drawn - n;
+      std::fprintf(stderr,
+                   "[btpub] warning: publisher %u backfill clamped "
+                   "(%zu of %zu historical events kept)\n",
+                   p.id, n, drawn);
+    }
     std::vector<SimTime> times;
     times.reserve(n + 1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -90,70 +105,113 @@ void Ecosystem::backfill_history() {
 }
 
 void Ecosystem::generate_publications() {
-  struct Event {
-    SimTime at;
-    PublisherId publisher;
-  };
-  std::vector<Event> events;
+  // Phase 1 — serial, cheap: draw every publication event. Each publisher
+  // owns a derive_seed substream, so its event count and times depend on
+  // nothing but (scenario seed, publisher id).
+  std::vector<PublicationEvent> events;
   const double window_days = to_days(config_.window);
   for (const Publisher& p : population_.publishers) {
+    Rng event_rng(derive_seed(config_.seed, kTagPublicationEvents,
+                              static_cast<std::uint64_t>(p.id)));
     const double mean = p.window_rate * window_days;
-    const std::size_t n = sample_poisson_count(mean, rng_);
+    const std::size_t n = sample_poisson(mean, event_rng);
     for (std::size_t i = 0; i < n; ++i) {
-      const SimTime at = static_cast<SimTime>(rng_.uniform() *
-                                              static_cast<double>(config_.window));
-      events.push_back(Event{at, p.id});
+      const SimTime at = static_cast<SimTime>(
+          event_rng.uniform() * static_cast<double>(config_.window));
+      events.push_back(PublicationEvent{at, p.id, 0});
     }
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.at != b.at) return a.at < b.at;
-    return a.publisher < b.publisher;
-  });
+  std::sort(events.begin(), events.end(),
+            [](const PublicationEvent& a, const PublicationEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.publisher < b.publisher;
+            });
+  // The per-publisher publication ordinal (IP rotation, username cycling)
+  // is a function of the sorted order, fixed before any parallel work.
+  std::unordered_map<PublisherId, std::uint32_t> ordinals;
+  for (PublicationEvent& event : events) {
+    event.ordinal = ordinals[event.publisher]++;
+  }
+  build_stats_.publication_events = events.size();
+
+  // Phase 2 — parallel, heavy: prepare every publication (metainfo
+  // hashing, swarm generation, seed-session planning, decoy injection,
+  // finalize). prepare_publication is a pure function of (event, index)
+  // given the frozen population/config, drawing only from the event's own
+  // substream — so completion order is irrelevant and any thread count
+  // yields identical drafts.
+  const std::size_t n_threads = ThreadPool::resolve_threads(config_.threads);
+  build_stats_.build_threads = n_threads;
+  std::vector<PublicationDraft> drafts(events.size());
+  if (n_threads <= 1 || events.size() <= 1) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      drafts[i] = prepare_publication(events[i], i);
+    }
+  } else {
+    ThreadPool pool(n_threads);
+    std::vector<std::future<PublicationDraft>> futures;
+    futures.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      futures.push_back(pool.submit(
+          [this, &event = events[i], i] { return prepare_publication(event, i); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      drafts[i] = futures[i].get();  // rethrows any worker exception
+    }
+  }
+
+  // Phase 3 — serial, cheap: commit in event order. Portal ids, tracker
+  // registration and the truth table are assigned here, so they come out
+  // exactly as a sequential build would produce them.
   swarms_.reserve(events.size());
   truths_.reserve(events.size());
-  for (const Event& event : events) {
-    publish_one(population_.by_id(event.publisher), event.at);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    commit_publication(events[i], drafts[i]);
   }
 }
 
-TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
-  PublishedWork work = publisher.make_work(when, rng_);
+Ecosystem::PublicationDraft Ecosystem::prepare_publication(
+    const PublicationEvent& event, std::size_t index) const {
+  const Publisher& publisher = population_.by_id(event.publisher);
+  const SimTime when = event.at;
+  Rng rng(derive_seed(config_.seed, kTagPublication,
+                      static_cast<std::uint64_t>(index)));
+
+  PublicationDraft draft;
+  PublishedWork work = publisher.make_work(when, event.ordinal, rng);
 
   Metainfo metainfo = Metainfo::make(
       tracker_->announce_url(), work.title, work.files,
       /*piece_length=*/256 * 1024,
-      /*salt=*/std::to_string(truths_.size()) + "|" + work.username);
+      /*salt=*/std::to_string(index) + "|" + work.username);
 
-  PublishRequest request;
-  request.title = work.title;
-  request.category = work.category;
-  request.language = work.language;
-  request.username = work.username;
-  request.textbox = work.textbox;
-  request.torrent_bytes = metainfo.encode();
-  request.infohash = metainfo.infohash();
-  request.size_bytes = metainfo.total_size();
-  request.payload = work.payload;
-  const TorrentId id = portal_.publish(std::move(request), when);
+  draft.request.title = work.title;
+  draft.request.category = work.category;
+  draft.request.language = work.language;
+  draft.request.username = work.username;
+  draft.request.textbox = work.textbox;
+  draft.request.torrent_bytes = metainfo.encode();
+  draft.request.infohash = metainfo.infohash();
+  draft.request.size_bytes = metainfo.total_size();
+  draft.request.payload = work.payload;
 
   // Moderation: fake content gets spotted and removed after a delay —
   // unless it slips through entirely.
-  SimTime removal = -1;
+  draft.removal = -1;
   if (work.payload != PayloadKind::Genuine &&
-      !rng_.chance(config_.moderation_miss_probability)) {
+      !rng.chance(config_.moderation_miss_probability)) {
     const auto delay = std::max<SimDuration>(
         config_.moderation_min_delay,
         static_cast<SimDuration>(
-            rng_.exponential(static_cast<double>(config_.moderation_mean_delay))));
-    removal = when + delay;
-    portal_.moderate_remove(id, removal);
+            rng.exponential(static_cast<double>(config_.moderation_mean_delay))));
+    draft.removal = when + delay;
   }
 
   // Swarm birth: cross-posted content already lives on another portal.
   SimTime birth = when;
   if (work.cross_posted) {
     birth = when - static_cast<SimDuration>(
-                       rng_.uniform(static_cast<double>(config_.cross_post_lead_min),
+                       rng.uniform(static_cast<double>(config_.cross_post_lead_min),
                                     static_cast<double>(config_.cross_post_lead_max)));
   }
 
@@ -163,8 +221,9 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
   spec.expected_downloads = work.expected_downloads;
   spec.decay_tau = work.payload != PayloadKind::Genuine ? config_.fake_decay_tau
                                                          : config_.decay_tau;
-  spec.arrivals_end = removal >= 0 ? std::min<SimTime>(removal, config_.window)
-                                   : config_.window;
+  spec.arrivals_end = draft.removal >= 0
+                          ? std::min<SimTime>(draft.removal, config_.window)
+                          : config_.window;
   spec.fake = work.payload != PayloadKind::Genuine;
   spec.nat_fraction = config_.downloader_nat_fraction;
   spec.median_download_time = config_.median_download_time;
@@ -174,7 +233,7 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
 
   auto swarm = std::make_unique<Swarm>(metainfo.infohash(), metainfo.piece_count(),
                                        birth);
-  swarm_generator_->generate(*swarm, spec, rng_);
+  swarm_generator_->generate(*swarm, spec, rng);
 
   // When does the k-th non-publisher seeder appear? (the publisher's
   // leave condition)
@@ -193,10 +252,10 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
     }
   }
 
-  const std::vector<Interval> seed_sessions =
-      plan_seed_sessions(publisher.seeding, birth, enough_seeders_at, removal,
-                         hard_end, publisher.online_start, rng_);
-  for (const Interval& session : seed_sessions) {
+  draft.seed_sessions =
+      plan_seed_sessions(publisher.seeding, birth, enough_seeders_at,
+                         draft.removal, hard_end, publisher.online_start, rng);
+  for (const Interval& session : draft.seed_sessions) {
     PeerSession s;
     s.endpoint = work.endpoint;
     s.arrive = session.start;
@@ -214,9 +273,9 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
   // them. Drawn from an own substream so enabling the knob leaves every
   // other draw untouched.
   if (publisher.is_fake_farm() && config_.fake_spoofed_peers > 0) {
-    Rng spoof_rng(derive_seed(config_.seed, 0x5F00Full,
-                              static_cast<std::uint64_t>(truths_.size())));
-    const SimTime stop = removal >= 0 ? removal : hard_end;
+    Rng spoof_rng(derive_seed(config_.seed, kTagSpoofedDecoys,
+                              static_cast<std::uint64_t>(index)));
+    const SimTime stop = draft.removal >= 0 ? draft.removal : hard_end;
     const auto base = static_cast<std::uint32_t>(
         spoof_rng.uniform_int(0x0B000000, 0xDF000000));
     for (std::size_t i = 0; i < config_.fake_spoofed_peers; ++i) {
@@ -235,21 +294,35 @@ TorrentId Ecosystem::publish_one(Publisher& publisher, SimTime when) {
   }
 
   swarm->finalize();
-  tracker_->host_swarm(*swarm);
-  network_.register_swarm(*swarm);
+
+  draft.publisher_ip = work.endpoint.ip;
+  draft.publisher_nat = work.endpoint_nat;
+  draft.cross_posted = work.cross_posted;
+  draft.swarm = std::move(swarm);
+  return draft;
+}
+
+TorrentId Ecosystem::commit_publication(const PublicationEvent& event,
+                                        PublicationDraft& draft) {
+  const Publisher& publisher = population_.by_id(event.publisher);
+  const TorrentId id = portal_.publish(std::move(draft.request), event.at);
+  if (draft.removal >= 0) portal_.moderate_remove(id, draft.removal);
+
+  tracker_->host_swarm(*draft.swarm);
+  network_.register_swarm(*draft.swarm);
 
   TorrentTruth truth;
   truth.portal_id = id;
   truth.publisher = publisher.id;
   truth.publisher_class = publisher.cls;
-  truth.publisher_ip = work.endpoint.ip;
-  truth.publisher_nat = work.endpoint_nat;
-  truth.cross_posted = work.cross_posted;
-  truth.removal_time = removal;
-  truth.true_downloads = swarm->distinct_downloader_ips();
-  truth.seed_sessions = seed_sessions;
+  truth.publisher_ip = draft.publisher_ip;
+  truth.publisher_nat = draft.publisher_nat;
+  truth.cross_posted = draft.cross_posted;
+  truth.removal_time = draft.removal;
+  truth.true_downloads = draft.swarm->distinct_downloader_ips();
+  truth.seed_sessions = std::move(draft.seed_sessions);
   truths_.push_back(std::move(truth));
-  swarms_.push_back(std::move(swarm));
+  swarms_.push_back(std::move(draft.swarm));
   return id;
 }
 
@@ -257,7 +330,7 @@ std::unique_ptr<dht::DhtOverlay> Ecosystem::build_dht_overlay(
     SimTime horizon) const {
   if (!built_) throw std::logic_error("Ecosystem::build_dht_overlay before build");
   auto overlay =
-      std::make_unique<dht::DhtOverlay>(derive_seed(config_.seed, 0xD47ull));
+      std::make_unique<dht::DhtOverlay>(derive_seed(config_.seed, kTagDhtOverlay));
   dht::DhtOverlay* net = overlay.get();
 
   // Node lifetime = union of an endpoint's connectable sessions across all
@@ -280,10 +353,14 @@ std::unique_ptr<dht::DhtOverlay> Ecosystem::build_dht_overlay(
     Interval merged = intervals.front();
     auto emit = [net, endpoint = endpoint](const Interval& iv) {
       if (iv.end <= iv.start) return;
-      net->events().schedule_at(
-          iv.start, [net, endpoint, at = iv.start] { net->add_node(endpoint, at); });
-      net->events().schedule_at(iv.end,
-                                [net, endpoint] { net->remove_node(endpoint); });
+      TypedEvent join;
+      join.kind = TypedEvent::Kind::NodeJoin;
+      join.endpoint = endpoint;
+      net->events().schedule_typed(iv.start, join);
+      TypedEvent leave;
+      leave.kind = TypedEvent::Kind::NodeLeave;
+      leave.endpoint = endpoint;
+      net->events().schedule_typed(iv.end, leave);
     };
     for (std::size_t i = 1; i < intervals.size(); ++i) {
       if (intervals[i].start <= merged.end) {
@@ -301,8 +378,11 @@ std::unique_ptr<dht::DhtOverlay> Ecosystem::build_dht_overlay(
   // hit stores the datagram's source address, exactly like a tracker sees
   // their IP. Fake-farm publishers run tracker-only announcer software;
   // their absence from the DHT is the signature the cross-check hunts.
-  // Scheduled after the joins, so at equal timestamps (FIFO queue) a
-  // node's join precedes its first announce.
+  // One lazy cursor per session: the queue re-arms the next occurrence
+  // when the previous one fires, so pending memory is O(live sessions),
+  // not O(sessions x window/kDhtReannounce). Cursors are scheduled after
+  // the joins, so at equal timestamps (shared FIFO sequence) a node's
+  // join precedes its first announce.
   for (std::size_t i = 0; i < swarms_.size(); ++i) {
     const Sha1Digest infohash = swarms_[i]->infohash();
     const bool fake_publisher = is_fake(truths_[i].publisher_class);
@@ -311,12 +391,20 @@ std::unique_ptr<dht::DhtOverlay> Ecosystem::build_dht_overlay(
       if (s.is_publisher && fake_publisher) continue;
       const SimTime stop = std::min(s.depart, horizon);
       SimTime at = s.arrive;
-      if (at < 0) at += ((-at) / kDhtReannounce + 1) * kDhtReannounce;
-      for (; at < stop; at += kDhtReannounce) {
-        net->events().schedule_at(at, [net, infohash, endpoint = s.endpoint, at] {
-          net->announce_peer(infohash, endpoint, at);
-        });
+      if (at < 0) {
+        // First in-window announce of a pre-window arrival: ceiling
+        // division keeps the session's 30-minute cadence, so an arrival
+        // at exactly -kDhtReannounce announces at 0, not kDhtReannounce.
+        at += ((-at + kDhtReannounce - 1) / kDhtReannounce) * kDhtReannounce;
       }
+      if (at >= stop) continue;
+      TypedEvent announce;
+      announce.kind = TypedEvent::Kind::Announce;
+      announce.endpoint = s.endpoint;
+      announce.infohash = infohash;
+      announce.every = kDhtReannounce;
+      announce.until = stop;
+      net->events().schedule_typed(at, announce);
     }
   }
   return overlay;
@@ -328,18 +416,21 @@ Dataset Ecosystem::dht_crawl() {
   // schedule from scratch and return byte-identical datasets.
   const auto overlay = build_dht_overlay(config_.window + config_.dht_crawler.grace);
   DhtCrawler crawler(portal_, *overlay, config_.dht_crawler,
-                     derive_seed(config_.seed, 0xDC13ull));
+                     derive_seed(config_.seed, kTagDhtCrawl));
   return crawler.crawl_window(0, config_.window);
 }
 
 Dataset Ecosystem::crawl() {
   if (!built_) throw std::logic_error("Ecosystem::crawl before build");
-  // Fixed seeds keyed off the scenario seed keep repeated crawls of the
-  // same ecosystem identical; the tracker's client-side state (rate limits,
-  // sampling key) is reset so a crawl never observes a previous one.
-  tracker_->reset_state(config_.seed ^ 0x7214CBull);
+  // Fixed derive_seed substreams keyed off the scenario seed keep repeated
+  // crawls of the same ecosystem identical — and structurally uncorrelated
+  // with every build substream (the old XOR-offset seeds could in
+  // principle collide with a derive_seed output). The tracker's
+  // client-side state (rate limits, sampling key) is reset so a crawl
+  // never observes a previous one.
+  tracker_->reset_state(derive_seed(config_.seed, kTagTrackerCrawlState));
   Crawler crawler(portal_, *tracker_, network_, geo(), config_.crawler,
-                  config_.seed ^ 0xC4A37E5ull);
+                  derive_seed(config_.seed, kTagCrawler));
   return crawler.crawl_window(0, config_.window);
 }
 

@@ -24,6 +24,21 @@
 
 namespace btpub {
 
+/// What the build actually did — the observability hook for the safety
+/// clamps and the parallel engine (benches and tests read it; nothing in
+/// the generated world depends on it).
+struct BuildStats {
+  /// Publishers whose historical backfill hit the event-cap clamp, and how
+  /// many events the clamp dropped in total. Non-zero means the Table-4
+  /// longitudinal view under-counts those publishers' pre-window record.
+  std::size_t backfill_clamped_publishers = 0;
+  std::size_t backfill_clamped_events = 0;
+  /// Publication events generated inside the window.
+  std::size_t publication_events = 0;
+  /// Resolved worker-thread count the build ran with.
+  std::size_t build_threads = 1;
+};
+
 /// Generator-side truth for one published torrent.
 struct TorrentTruth {
   TorrentId portal_id = kInvalidTorrent;
@@ -79,11 +94,44 @@ class Ecosystem {
   const TorrentTruth& truth(TorrentId id) const { return truths_.at(id); }
   const Swarm& swarm_of(TorrentId id) const { return *swarms_.at(id); }
   std::size_t torrent_count() const noexcept { return truths_.size(); }
+  const BuildStats& build_stats() const noexcept { return build_stats_; }
 
  private:
+  /// One publish action drawn in phase 1 of generate_publications.
+  struct PublicationEvent {
+    SimTime at;
+    PublisherId publisher;
+    /// The publisher's zero-based publication index in event order.
+    std::uint32_t ordinal;
+  };
+
+  /// Everything prepare_publication produces off the serial path; committed
+  /// in event order by commit_publication.
+  struct PublicationDraft {
+    PublishRequest request;
+    SimTime removal = -1;  // -1: never moderated away
+    IpAddress publisher_ip{};
+    bool publisher_nat = false;
+    bool cross_posted = false;
+    std::vector<Interval> seed_sessions;
+    std::unique_ptr<Swarm> swarm;
+  };
+
   void backfill_history();
+  /// Three phases: serial event drawing (per-publisher substreams), a
+  /// parallel prepare fan-out over config_.threads workers (per-event
+  /// substreams; byte-identical for any thread count), and a serial
+  /// in-event-order commit into portal/tracker/network/truths.
   void generate_publications();
-  TorrentId publish_one(Publisher& publisher, SimTime when);
+  /// Heavy per-publication work: metainfo hashing, swarm generation,
+  /// seed-session planning, decoy injection, finalize. Pure function of
+  /// (event, index) given the frozen population and config — draws only
+  /// from derive_seed(seed, tag, index) substreams. Thread-safe.
+  PublicationDraft prepare_publication(const PublicationEvent& event,
+                                       std::size_t index) const;
+  /// Serial registration of a prepared publication; assigns the portal id.
+  TorrentId commit_publication(const PublicationEvent& event,
+                               PublicationDraft& draft);
 
   ScenarioConfig config_;
   Rng rng_;
@@ -97,6 +145,7 @@ class Ecosystem {
   AppraisalPanel panel_;
   std::vector<std::unique_ptr<Swarm>> swarms_;  // indexed by TorrentId
   std::vector<TorrentTruth> truths_;            // indexed by TorrentId
+  BuildStats build_stats_;
   bool built_ = false;
 };
 

@@ -34,6 +34,14 @@ struct ScenarioConfig {
   std::string name = "pb10";
   SimDuration window = days(30);
 
+  /// Worker threads for the ecosystem build (publication preparation:
+  /// metainfo hashing, swarm generation, seed-session planning); 0 =
+  /// hardware concurrency. The generated world is byte-identical for every
+  /// value — each publication event draws from its own derive_seed
+  /// substream and results merge back in event order. The crawl has its
+  /// own knob (crawler.threads).
+  std::size_t threads = 0;
+
   PopulationConfig population;
   TrackerConfig tracker;
   CrawlerConfig crawler;

@@ -76,6 +76,10 @@ class DhtOverlay {
 
   // ---- scheduled life -------------------------------------------------------
 
+  /// The overlay registers itself as the queue's typed-event handler at
+  /// construction: schedule_typed NodeJoin/NodeLeave/Announce records drive
+  /// add_node/remove_node/announce_peer with zero per-event closures, and
+  /// periodic announces re-arm lazily (one pending cursor per session).
   EventQueue& events() noexcept { return events_; }
   /// Replays scheduled events with timestamp <= t. Client operations at
   /// time `now` must be preceded by advance_to(now).

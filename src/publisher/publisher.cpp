@@ -94,7 +94,8 @@ std::string make_textbox(const Publisher& p, const std::string& title, Rng& rng)
 
 }  // namespace
 
-PublishedWork Publisher::make_work(SimTime when, Rng& rng) {
+PublishedWork Publisher::make_work(SimTime when, std::size_t ordinal,
+                                   Rng& rng) const {
   PublishedWork work;
   const ClassProfile& profile = class_profile(cls);
 
@@ -109,7 +110,7 @@ PublishedWork Publisher::make_work(SimTime when, Rng& rng) {
           usernames.size() > offset ? usernames.size() - offset : 0;
       work.username = throwaways == 0
                           ? usernames.front()
-                          : usernames[offset + (publish_count_ % throwaways)];
+                          : usernames[offset + (ordinal % throwaways)];
     }
   } else {
     work.username = usernames.front();
@@ -124,7 +125,7 @@ PublishedWork Publisher::make_work(SimTime when, Rng& rng) {
     case IpStrategy::HostingMulti:
     case IpStrategy::FakeFarm:
     case IpStrategy::MultiIsp:
-      ip_index = rotation_index_++ % endpoints.size();
+      ip_index = ordinal % endpoints.size();
       break;
     case IpStrategy::DynamicCommercial:
       // The ISP re-assigns the address every couple of days.
@@ -165,7 +166,6 @@ PublishedWork Publisher::make_work(SimTime when, Rng& rng) {
   work.expected_downloads =
       rng.lognormal_median(popularity_median, popularity_sigma);
   work.cross_posted = rng.chance(cross_post_probability);
-  ++publish_count_;
   return work;
 }
 

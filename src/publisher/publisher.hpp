@@ -77,15 +77,16 @@ class Publisher {
   bool has_compromised_username = false;
   double compromised_use_prob = 0.35;
 
-  /// Produces the next publish action at simulated time `when`.
-  PublishedWork make_work(SimTime when, Rng& rng);
+  /// Produces the publish action at simulated time `when`. `ordinal` is
+  /// this publisher's zero-based publication index in publication order; it
+  /// drives IP rotation and fake-farm username cycling, which used to live
+  /// in mutable counters. Making the position explicit keeps make_work
+  /// const and pure given (when, ordinal, rng) — the parallel ecosystem
+  /// build prepares publications out of order across worker threads.
+  PublishedWork make_work(SimTime when, std::size_t ordinal, Rng& rng) const;
 
   /// True when this entity is a fake farm.
   bool is_fake_farm() const noexcept { return is_fake(cls); }
-
- private:
-  std::size_t rotation_index_ = 0;
-  std::size_t publish_count_ = 0;
 };
 
 /// Computes the seeding sessions for one published torrent.

@@ -1,11 +1,13 @@
 #include "sim/event_queue.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace btpub {
 
 void EventQueue::schedule_at(SimTime at, Callback cb) {
   if (at < now_) at = now_;
+  ++callbacks_scheduled_;
   queue_.push(Event{at, next_seq_++, std::move(cb)});
 }
 
@@ -13,7 +15,38 @@ void EventQueue::schedule_in(SimDuration delay, Callback cb) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
 }
 
+void EventQueue::schedule_typed(SimTime at, const TypedEvent& event) {
+  if (at < now_) at = now_;
+  ++typed_scheduled_;
+  typed_queue_.push(TypedEntry{at, next_seq_++, event});
+}
+
+bool EventQueue::typed_is_next() const noexcept {
+  if (typed_queue_.empty()) return false;
+  if (queue_.empty()) return true;
+  const TypedEntry& t = typed_queue_.top();
+  const Event& c = queue_.top();
+  if (t.at != c.at) return t.at < c.at;
+  return t.seq < c.seq;  // the shared counter interleaves the lanes FIFO
+}
+
 bool EventQueue::step() {
+  if (typed_is_next()) {
+    TypedEntry entry = typed_queue_.top();
+    typed_queue_.pop();
+    now_ = entry.at;
+    ++dispatched_;
+    // Lazy cursor: re-arm the next occurrence before dispatch so the
+    // handler observes a consistent pending() and may itself reschedule.
+    if (entry.event.every > 0 && entry.at + entry.event.every < entry.event.until) {
+      schedule_typed(entry.at + entry.event.every, entry.event);
+    }
+    if (!typed_handler_) {
+      throw std::logic_error("EventQueue: typed event without a handler");
+    }
+    typed_handler_(entry.event, entry.at);
+    return true;
+  }
   if (queue_.empty()) return false;
   // priority_queue::top returns const&; move out via const_cast is UB-free
   // here because we pop immediately — but stay clean and copy the handle.
@@ -31,7 +64,16 @@ void EventQueue::run() {
 }
 
 void EventQueue::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (true) {
+    SimTime next;
+    if (typed_is_next()) {
+      next = typed_queue_.top().at;
+    } else if (!queue_.empty()) {
+      next = queue_.top().at;
+    } else {
+      break;
+    }
+    if (next > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

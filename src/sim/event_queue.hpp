@@ -4,6 +4,19 @@
 // simulated clock (publisher "publish" events, crawler RSS polls, tracker
 // query ticks). Events at equal timestamps run in scheduling order, which
 // keeps runs deterministic.
+//
+// Two lanes share one clock and one FIFO sequence counter:
+//   * the callback lane holds arbitrary std::function closures — flexible,
+//     but every entry is a heap allocation;
+//   * the typed lane holds plain-old-data TypedEvent records (node joins,
+//     node leaves, periodic announces) that a single registered handler
+//     consumes. A periodic typed event is a *cursor*: dispatching it at t
+//     lazily re-arms the next occurrence at t + every while that stays
+//     below its stop time, so a session announcing every 30 minutes for a
+//     month costs one pending record, not window/30min closures.
+// Interleaving between the lanes is deterministic: the earlier timestamp
+// wins, and at equal timestamps the globally earlier scheduling (smaller
+// shared sequence number) wins, exactly as if both lanes were one queue.
 #pragma once
 
 #include <cstdint>
@@ -11,20 +24,54 @@
 #include <queue>
 #include <vector>
 
+#include "crypto/sha1.hpp"
+#include "net/ip.hpp"
 #include "util/time.hpp"
 
 namespace btpub {
+
+/// One allocation-free simulation event. A tagged record rather than a
+/// closure: the queue's registered handler switches on `kind`. `every > 0`
+/// makes the event a lazy periodic cursor (see header comment).
+struct TypedEvent {
+  enum class Kind : std::uint8_t {
+    NodeJoin,   ///< endpoint joins the DHT overlay
+    NodeLeave,  ///< endpoint departs the overlay
+    Announce,   ///< endpoint announce_peer-s `infohash`
+  };
+
+  Kind kind = Kind::NodeJoin;
+  Endpoint endpoint{};
+  /// Announce only: the torrent being announced.
+  Sha1Digest infohash{};
+  /// Re-arm period; 0 = one-shot. A dispatched occurrence at time t
+  /// schedules the next at t + every iff t + every < until.
+  SimDuration every = 0;
+  /// Exclusive stop time for periodic re-arming.
+  SimTime until = 0;
+};
 
 /// Discrete-event executor over SimTime.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Receives every dispatched typed event with its timestamp.
+  using TypedHandler = std::function<void(const TypedEvent&, SimTime)>;
 
   /// Schedules `cb` at absolute simulated time `at`. Scheduling in the past
   /// (before now()) is clamped to now().
   void schedule_at(SimTime at, Callback cb);
   /// Schedules `cb` `delay` seconds from now.
   void schedule_in(SimDuration delay, Callback cb);
+
+  /// Schedules a typed event at absolute time `at` (clamped to now() like
+  /// schedule_at). Dispatch requires a handler: set_typed_handler must have
+  /// been called before the first typed event fires.
+  void schedule_typed(SimTime at, const TypedEvent& event);
+  /// Registers the single consumer of typed events (latest wins).
+  void set_typed_handler(TypedHandler handler) {
+    typed_handler_ = std::move(handler);
+  }
 
   /// Current simulated time (time of the last dispatched event).
   SimTime now() const noexcept { return now_; }
@@ -34,11 +81,25 @@ class EventQueue {
   /// Runs events with timestamp <= deadline; the clock ends at
   /// max(now, deadline).
   void run_until(SimTime deadline);
-  /// Dispatches the single next event, if any. Returns false when empty.
+  /// Dispatches the single next event (either lane), if any. Returns false
+  /// when both lanes are empty.
   bool step();
 
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Pending events across both lanes.
+  std::size_t pending() const noexcept {
+    return queue_.size() + typed_queue_.size();
+  }
+  std::size_t pending_callbacks() const noexcept { return queue_.size(); }
+  std::size_t pending_typed() const noexcept { return typed_queue_.size(); }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  /// Counting hooks: total schedule_at/schedule_in calls and total
+  /// schedule_typed calls (including lazy re-arms). Tests use these to
+  /// prove a path allocates no closures.
+  std::uint64_t callbacks_scheduled() const noexcept {
+    return callbacks_scheduled_;
+  }
+  std::uint64_t typed_scheduled() const noexcept { return typed_scheduled_; }
 
  private:
   struct Event {
@@ -46,17 +107,31 @@ class EventQueue {
     std::uint64_t seq;  // tiebreaker: FIFO within a timestamp
     Callback cb;
   };
+  struct TypedEntry {
+    SimTime at;
+    std::uint64_t seq;
+    TypedEvent event;
+  };
+  template <typename E>
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const E& a, const E& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// True when the typed lane holds the globally next event.
+  bool typed_is_next() const noexcept;
+
+  std::priority_queue<Event, std::vector<Event>, Later<Event>> queue_;
+  std::priority_queue<TypedEntry, std::vector<TypedEntry>, Later<TypedEntry>>
+      typed_queue_;
+  TypedHandler typed_handler_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t callbacks_scheduled_ = 0;
+  std::uint64_t typed_scheduled_ = 0;
 };
 
 }  // namespace btpub

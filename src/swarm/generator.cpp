@@ -4,10 +4,11 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/stats.hpp"
+
 namespace btpub {
 
-ConsumerPool::ConsumerPool(const IspCatalog& catalog, Rng rng)
-    : catalog_(&catalog), rng_(rng) {}
+ConsumerPool::ConsumerPool(const IspCatalog& catalog) : catalog_(&catalog) {}
 
 void ConsumerPool::add_sticky(Endpoint endpoint, double weight) {
   sticky_.push_back(endpoint);
@@ -35,28 +36,6 @@ double SwarmGenerator::truncated_mean(const SwarmSpec& spec) {
   const double tau = static_cast<double>(std::max<SimDuration>(spec.decay_tau, 1));
   return spec.expected_downloads * (1.0 - std::exp(-T / tau));
 }
-
-namespace {
-
-/// Poisson sampling: inversion for small means, normal approximation for
-/// large ones (error is irrelevant at the population sizes involved).
-std::size_t sample_poisson(double mean, Rng& rng) {
-  if (mean <= 0.0) return 0;
-  if (mean < 64.0) {
-    const double limit = std::exp(-mean);
-    std::size_t k = 0;
-    double product = rng.uniform();
-    while (product > limit) {
-      ++k;
-      product *= rng.uniform();
-    }
-    return k;
-  }
-  const double draw = rng.normal(mean, std::sqrt(mean));
-  return draw <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(draw));
-}
-
-}  // namespace
 
 std::size_t SwarmGenerator::generate(Swarm& swarm, const SwarmSpec& spec,
                                      Rng& rng) const {

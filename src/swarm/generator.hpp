@@ -25,14 +25,16 @@ namespace btpub {
 /// publishers mostly do not — §3.1's "40% of the top-100 download nothing").
 class ConsumerPool {
  public:
-  ConsumerPool(const IspCatalog& catalog, Rng rng);
+  explicit ConsumerPool(const IspCatalog& catalog);
 
   /// Adds a sticky consumer (e.g. a regular publisher's home IP) with the
   /// given relative weight of appearing in any one swarm.
   void add_sticky(Endpoint endpoint, double weight = 1.0);
 
   /// Draws a downloader endpoint: with probability `sticky_bias` a sticky
-  /// consumer, otherwise a fresh residential address.
+  /// consumer, otherwise a fresh residential address. Pure given `rng` and
+  /// touches no pool state, so concurrent draws from distinct generators
+  /// (the parallel ecosystem build) are safe.
   Endpoint draw(Rng& rng) const;
 
   /// Probability that a draw comes from the sticky pool (default 2%).
@@ -42,7 +44,6 @@ class ConsumerPool {
 
  private:
   const IspCatalog* catalog_;
-  mutable Rng rng_;
   std::vector<Endpoint> sticky_;
   std::vector<double> weights_;
   double sticky_bias_ = 0.02;

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/rng.hpp"
+
 namespace btpub {
 namespace {
 
@@ -174,6 +176,22 @@ std::string to_string(const SummaryRow& s) {
   os << s.min << "/" << s.median << "/" << s.avg << "/" << s.max << " (n=" << s.count
      << ")";
   return os.str();
+}
+
+std::size_t sample_poisson(double mean, Rng& rng) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < kPoissonNormalCutoff) {
+    const double limit = std::exp(-mean);
+    std::size_t k = 0;
+    double product = rng.uniform();
+    while (product > limit) {
+      ++k;
+      product *= rng.uniform();
+    }
+    return k;
+  }
+  const double draw = rng.normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(draw));
 }
 
 }  // namespace btpub

@@ -91,4 +91,14 @@ struct Histogram {
 std::string to_string(const BoxStats& b);
 std::string to_string(const SummaryRow& s);
 
+class Rng;
+
+/// Poisson sample with the given mean: exact multiplicative inversion for
+/// mean < kPoissonNormalCutoff, normal approximation above it (the error is
+/// irrelevant at the population sizes involved). mean <= 0 (including NaN
+/// guards upstream) yields 0. Shared by the publication-event and
+/// swarm-arrival generators so the two cannot drift apart.
+inline constexpr double kPoissonNormalCutoff = 64.0;
+std::size_t sample_poisson(double mean, Rng& rng) noexcept;
+
 }  // namespace btpub

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace btpub {
@@ -106,6 +108,150 @@ TEST(EventQueue, SelfReschedulingChain) {
   q.run();
   EXPECT_EQ(ticks, 5);
   EXPECT_EQ(q.now(), 40);
+}
+
+// ---- typed lane -----------------------------------------------------------
+
+Endpoint ep(std::uint32_t host) { return Endpoint{IpAddress(host), 6881}; }
+
+TypedEvent join_event(std::uint32_t host) {
+  TypedEvent event;
+  event.kind = TypedEvent::Kind::NodeJoin;
+  event.endpoint = ep(host);
+  return event;
+}
+
+TEST(EventQueueTyped, DispatchesThroughHandler) {
+  EventQueue q;
+  std::vector<std::pair<TypedEvent::Kind, SimTime>> seen;
+  q.set_typed_handler([&](const TypedEvent& event, SimTime at) {
+    seen.emplace_back(event.kind, at);
+  });
+  TypedEvent leave;
+  leave.kind = TypedEvent::Kind::NodeLeave;
+  leave.endpoint = ep(1);
+  q.schedule_typed(20, leave);
+  q.schedule_typed(10, join_event(1));
+  q.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(TypedEvent::Kind::NodeJoin, SimTime{10}));
+  EXPECT_EQ(seen[1], std::make_pair(TypedEvent::Kind::NodeLeave, SimTime{20}));
+  EXPECT_EQ(q.dispatched(), 2u);
+}
+
+TEST(EventQueueTyped, WithoutHandlerThrows) {
+  EventQueue q;
+  q.schedule_typed(5, join_event(1));
+  EXPECT_THROW(q.run(), std::logic_error);
+}
+
+TEST(EventQueueTyped, EqualTimestampsInterleaveInSchedulingOrder) {
+  // The two lanes share one sequence counter, so at an equal timestamp the
+  // globally earlier schedule_* call fires first regardless of lane.
+  EventQueue q;
+  std::vector<int> order;
+  q.set_typed_handler([&](const TypedEvent&, SimTime) { order.push_back(1); });
+  q.schedule_at(7, [&] { order.push_back(0); });   // seq 0, callback lane
+  q.schedule_typed(7, join_event(1));              // seq 1, typed lane
+  q.schedule_at(7, [&] { order.push_back(2); });   // seq 2, callback lane
+  q.schedule_typed(7, join_event(2));              // seq 3, typed lane
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 1}));
+}
+
+TEST(EventQueueTyped, PeriodicCursorReArmsLazily) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.set_typed_handler([&](const TypedEvent& event, SimTime at) {
+    EXPECT_EQ(event.kind, TypedEvent::Kind::Announce);
+    fired.push_back(at);
+    // Lazy: while the cursor is live, exactly one pending record exists —
+    // the current dispatch re-armed at most the *next* occurrence.
+    EXPECT_LE(q.pending_typed(), 1u);
+  });
+  TypedEvent announce;
+  announce.kind = TypedEvent::Kind::Announce;
+  announce.endpoint = ep(9);
+  announce.every = 10;
+  announce.until = 45;  // exclusive: 40 fires, 50 never scheduled
+  q.schedule_typed(10, announce);
+  EXPECT_EQ(q.pending_typed(), 1u);
+  q.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40}));
+  // One initial schedule + three re-arms, each counted.
+  EXPECT_EQ(q.typed_scheduled(), 4u);
+  EXPECT_EQ(q.callbacks_scheduled(), 0u);
+}
+
+TEST(EventQueueTyped, ReArmBoundaryIsExclusive) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.set_typed_handler(
+      [&](const TypedEvent&, SimTime at) { fired.push_back(at); });
+  TypedEvent announce;
+  announce.kind = TypedEvent::Kind::Announce;
+  announce.endpoint = ep(3);
+  announce.every = 10;
+  announce.until = 30;  // next occurrence at exactly `until` must not fire
+  q.schedule_typed(10, announce);
+  q.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(EventQueueTyped, OneShotDoesNotReArm) {
+  EventQueue q;
+  int count = 0;
+  q.set_typed_handler([&](const TypedEvent&, SimTime) { ++count; });
+  TypedEvent once = join_event(4);  // every == 0
+  once.until = 1000;
+  q.schedule_typed(10, once);
+  q.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.typed_scheduled(), 1u);
+}
+
+TEST(EventQueueTyped, RunUntilSpansBothLanes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.set_typed_handler([&](const TypedEvent&, SimTime) { order.push_back(1); });
+  q.schedule_typed(10, join_event(1));
+  q.schedule_at(20, [&] { order.push_back(0); });
+  TypedEvent cursor;
+  cursor.kind = TypedEvent::Kind::Announce;
+  cursor.endpoint = ep(2);
+  cursor.every = 25;
+  cursor.until = 1000;
+  q.schedule_typed(30, cursor);
+  q.run_until(35);
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(q.now(), 35);
+  EXPECT_EQ(q.pending(), 1u);  // the re-armed cursor at 55
+  q.run_until(55);
+  EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(EventQueueTyped, PastTypedSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.set_typed_handler([&](const TypedEvent&, SimTime at) { seen = at; });
+  q.schedule_at(100, [&] { q.schedule_typed(10, join_event(1)); });
+  q.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueueTyped, CountersSplitByLane) {
+  EventQueue q;
+  q.set_typed_handler([](const TypedEvent&, SimTime) {});
+  q.schedule_at(1, [] {});
+  q.schedule_in(2, [] {});
+  q.schedule_typed(3, TypedEvent{});
+  EXPECT_EQ(q.callbacks_scheduled(), 2u);
+  EXPECT_EQ(q.typed_scheduled(), 1u);
+  EXPECT_EQ(q.pending_callbacks(), 2u);
+  EXPECT_EQ(q.pending_typed(), 1u);
+  EXPECT_EQ(q.pending(), 3u);
+  q.run();
+  EXPECT_EQ(q.dispatched(), 3u);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ class GeneratorTest : public ::testing::Test {
  protected:
   GeneratorTest()
       : catalog_(IspCatalog::standard(8)),
-        consumers_(catalog_, Rng(1)),
+        consumers_(catalog_),
         generator_(consumers_) {}
 
   SwarmSpec genuine_spec() {
@@ -114,7 +114,7 @@ TEST_F(GeneratorTest, NatFractionRespected) {
 }
 
 TEST_F(GeneratorTest, ConsumerPoolStickyBias) {
-  ConsumerPool pool(catalog_, Rng(7));
+  ConsumerPool pool(catalog_);
   const Endpoint sticky{IpAddress(9, 9, 9, 9), 1234};
   pool.add_sticky(sticky, 1.0);
   pool.set_sticky_bias(0.5);
@@ -127,7 +127,7 @@ TEST_F(GeneratorTest, ConsumerPoolStickyBias) {
 }
 
 TEST_F(GeneratorTest, ConsumerPoolWeights) {
-  ConsumerPool pool(catalog_, Rng(9));
+  ConsumerPool pool(catalog_);
   const Endpoint a{IpAddress(1, 1, 1, 1), 1};
   const Endpoint b{IpAddress(2, 2, 2, 2), 2};
   pool.add_sticky(a, 1.0);

@@ -29,7 +29,7 @@ TEST(PublisherAgent, RegularUsesItsSingleIdentity) {
   Publisher p = base_publisher(PublisherClass::Regular);
   Rng rng(1);
   for (int i = 0; i < 10; ++i) {
-    const PublishedWork work = p.make_work(hours(i), rng);
+    const PublishedWork work = p.make_work(hours(i), static_cast<std::size_t>(i), rng);
     EXPECT_EQ(work.username, "mainuser");
     EXPECT_EQ(work.endpoint.ip, IpAddress(10, 0, 0, 1));
     EXPECT_EQ(work.payload, PayloadKind::Genuine);
@@ -45,7 +45,7 @@ TEST(PublisherAgent, FakeFarmCyclesThrowawaysAndReusesCompromised) {
   std::set<std::string> seen;
   int hijacked_uses = 0;
   for (int i = 0; i < 300; ++i) {
-    const PublishedWork work = p.make_work(hours(i), rng);
+    const PublishedWork work = p.make_work(hours(i), static_cast<std::size_t>(i), rng);
     seen.insert(work.username);
     if (work.username == "hijacked") ++hijacked_uses;
     EXPECT_NE(work.payload, PayloadKind::Genuine);
@@ -58,8 +58,8 @@ TEST(PublisherAgent, FakeFarmPayloadMatchesClass) {
   Publisher ap = base_publisher(PublisherClass::FakeAntipiracy);
   Publisher mw = base_publisher(PublisherClass::FakeMalware);
   Rng rng(3);
-  EXPECT_EQ(ap.make_work(0, rng).payload, PayloadKind::FakeAntipiracy);
-  EXPECT_EQ(mw.make_work(0, rng).payload, PayloadKind::FakeMalware);
+  EXPECT_EQ(ap.make_work(0, 0, rng).payload, PayloadKind::FakeAntipiracy);
+  EXPECT_EQ(mw.make_work(0, 0, rng).payload, PayloadKind::FakeMalware);
 }
 
 TEST(PublisherAgent, HostingMultiRotatesEndpoints) {
@@ -70,7 +70,7 @@ TEST(PublisherAgent, HostingMultiRotatesEndpoints) {
                  {IpAddress(10, 0, 0, 3), 3}};
   Rng rng(4);
   std::set<std::uint32_t> used;
-  for (int i = 0; i < 9; ++i) used.insert(p.make_work(0, rng).endpoint.ip.value());
+  for (int i = 0; i < 9; ++i) used.insert(p.make_work(0, static_cast<std::size_t>(i), rng).endpoint.ip.value());
   EXPECT_EQ(used.size(), 3u);
 }
 
@@ -79,9 +79,9 @@ TEST(PublisherAgent, DynamicCommercialRotatesByTime) {
   p.strategy = IpStrategy::DynamicCommercial;
   p.endpoints = {{IpAddress(1, 0, 0, 1), 1}, {IpAddress(1, 0, 0, 2), 1}};
   Rng rng(5);
-  const auto day0 = p.make_work(hours(1), rng).endpoint.ip;
-  const auto day0b = p.make_work(hours(30), rng).endpoint.ip;  // same 2-day slot
-  const auto day2 = p.make_work(days(2) + 1, rng).endpoint.ip;
+  const auto day0 = p.make_work(hours(1), 0, rng).endpoint.ip;
+  const auto day0b = p.make_work(hours(30), 1, rng).endpoint.ip;  // same 2-day slot
+  const auto day2 = p.make_work(days(2) + 1, 2, rng).endpoint.ip;
   EXPECT_EQ(day0, day0b);
   EXPECT_NE(day0, day2);
 }
@@ -91,11 +91,11 @@ TEST(PublisherAgent, NatOnlyAppliesToHomeConnections) {
   hosted.nat = true;
   hosted.hosted = true;
   Rng rng(6);
-  EXPECT_FALSE(hosted.make_work(0, rng).endpoint_nat);
+  EXPECT_FALSE(hosted.make_work(0, 0, rng).endpoint_nat);
   Publisher home = base_publisher(PublisherClass::Regular);
   home.nat = true;
   home.hosted = false;
-  EXPECT_TRUE(home.make_work(0, rng).endpoint_nat);
+  EXPECT_TRUE(home.make_work(0, 0, rng).endpoint_nat);
 }
 
 TEST(PublisherAgent, TextboxPromotionChannel) {
@@ -103,7 +103,7 @@ TEST(PublisherAgent, TextboxPromotionChannel) {
   p.promo_domain = "ultratorrents.com";
   p.promo_channels = PromoChannel::Textbox;
   Rng rng(7);
-  const PublishedWork work = p.make_work(0, rng);
+  const PublishedWork work = p.make_work(0, 0, rng);
   EXPECT_NE(work.textbox.find("http://www.ultratorrents.com/"), std::string::npos);
   EXPECT_EQ(work.title.find("ultratorrents.com"), std::string::npos);
 }
@@ -113,7 +113,7 @@ TEST(PublisherAgent, FilenamePromotionChannel) {
   p.promo_domain = "pixsor.com";
   p.promo_channels = PromoChannel::FilenameSuffix;
   Rng rng(8);
-  const PublishedWork work = p.make_work(0, rng);
+  const PublishedWork work = p.make_work(0, 0, rng);
   EXPECT_TRUE(ends_with(work.title, "-pixsor.com")) << work.title;
 }
 
@@ -122,7 +122,7 @@ TEST(PublisherAgent, PayloadTextFilePromotionChannel) {
   p.promo_domain = "divxatope.com";
   p.promo_channels = PromoChannel::PayloadTextFile;
   Rng rng(9);
-  const PublishedWork work = p.make_work(0, rng);
+  const PublishedWork work = p.make_work(0, 0, rng);
   bool found = false;
   for (const FileEntry& f : work.files) {
     if (f.path == "Visit-www-divxatope-com.txt") found = true;
@@ -133,7 +133,7 @@ TEST(PublisherAgent, PayloadTextFilePromotionChannel) {
 TEST(PublisherAgent, NoPromotionWithoutDomain) {
   Publisher p = base_publisher(PublisherClass::TopAltruistic);
   Rng rng(10);
-  const PublishedWork work = p.make_work(0, rng);
+  const PublishedWork work = p.make_work(0, 0, rng);
   EXPECT_EQ(work.textbox.find("http://www."), std::string::npos);
   // Altruistic publishers beg for seeders instead (§5.1).
   EXPECT_NE(work.textbox.find("seed"), std::string::npos);
@@ -143,7 +143,7 @@ TEST(PublisherAgent, LanguageTagsTitle) {
   Publisher p = base_publisher(PublisherClass::TopPortalOwner);
   p.language = Language::Spanish;
   Rng rng(11);
-  const PublishedWork work = p.make_work(0, rng);
+  const PublishedWork work = p.make_work(0, 0, rng);
   EXPECT_NE(work.title.find(".SPANiSH"), std::string::npos) << work.title;
   EXPECT_EQ(work.language, Language::Spanish);
 }
@@ -152,7 +152,7 @@ TEST(PublisherAgent, FilesCarryPlausibleSizes) {
   Publisher p = base_publisher(PublisherClass::Regular);
   Rng rng(12);
   for (int i = 0; i < 50; ++i) {
-    const PublishedWork work = p.make_work(0, rng);
+    const PublishedWork work = p.make_work(0, 0, rng);
     ASSERT_FALSE(work.files.empty());
     EXPECT_GT(work.files.front().length, 0);
   }
@@ -164,7 +164,7 @@ TEST(PublisherAgent, ExpectedDownloadsFollowConfiguredMedian) {
   p.popularity_sigma = 0.8;
   Rng rng(13);
   std::vector<double> draws;
-  for (int i = 0; i < 4001; ++i) draws.push_back(p.make_work(0, rng).expected_downloads);
+  for (int i = 0; i < 4001; ++i) draws.push_back(p.make_work(0, 0, rng).expected_downloads);
   std::nth_element(draws.begin(), draws.begin() + 2000, draws.end());
   EXPECT_NEAR(draws[2000], 30.0, 3.0);
 }
@@ -174,7 +174,7 @@ TEST(PublisherAgent, CrossPostProbability) {
   p.cross_post_probability = 0.25;
   Rng rng(14);
   int crossed = 0;
-  for (int i = 0; i < 4000; ++i) crossed += p.make_work(0, rng).cross_posted;
+  for (int i = 0; i < 4000; ++i) crossed += p.make_work(0, 0, rng).cross_posted;
   EXPECT_NEAR(crossed / 4000.0, 0.25, 0.03);
 }
 

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace btpub {
 namespace {
 
@@ -183,6 +185,55 @@ TEST(Rendering, ToStringContainsFields) {
   const std::string s = to_string(b);
   EXPECT_NE(s.find("med=3"), std::string::npos);
   EXPECT_NE(s.find("n=5"), std::string::npos);
+}
+
+TEST(SamplePoisson, NonPositiveMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(sample_poisson(0.0, rng), 0u);
+  EXPECT_EQ(sample_poisson(-3.5, rng), 0u);
+  // Degenerate means consume no randomness: the stream is untouched.
+  Rng fresh(1);
+  EXPECT_EQ(rng.next(), fresh.next());
+}
+
+TEST(SamplePoisson, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (double mean : {0.3, 5.0, 63.9, 64.0, 500.0}) {
+    EXPECT_EQ(sample_poisson(mean, a), sample_poisson(mean, b)) << mean;
+  }
+}
+
+TEST(SamplePoisson, MeanMatchesBelowAndAboveCutoff) {
+  // Pin the exact-inversion regime just under the cutoff and the normal
+  // approximation just over it; both must track the requested mean.
+  Rng rng(7);
+  for (double mean :
+       {kPoissonNormalCutoff - 1.0, kPoissonNormalCutoff + 1.0}) {
+    const int trials = 4000;
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      sum += static_cast<double>(sample_poisson(mean, rng));
+    }
+    const double got = sum / trials;
+    // Standard error is sqrt(mean/trials) ~ 0.13; allow 5 sigma.
+    EXPECT_NEAR(got, mean, 0.65) << mean;
+  }
+}
+
+TEST(SamplePoisson, CutoffBoundaryUsesNormalPath) {
+  // At exactly the cutoff the normal approximation takes over: one
+  // gaussian draw, never the open-ended multiplication loop. The variance
+  // must still be ~mean (a constant would also pass the mean check).
+  Rng rng(11);
+  const double mean = kPoissonNormalCutoff;
+  const int trials = 4000;
+  std::vector<double> draws;
+  draws.reserve(trials);
+  for (int i = 0; i < trials; ++i) {
+    draws.push_back(static_cast<double>(sample_poisson(mean, rng)));
+  }
+  const double sd = stddev(draws);
+  EXPECT_NEAR(sd * sd, mean, mean * 0.25);
 }
 
 class PercentileSweep : public ::testing::TestWithParam<double> {};

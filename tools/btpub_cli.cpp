@@ -63,8 +63,8 @@ struct Options {
   std::uint64_t seed = 42;
   std::string out;
   std::size_t top_n = 100;
-  /// Crawl worker threads; 0 = hardware concurrency. The dataset is
-  /// byte-identical for every value.
+  /// Worker threads for the ecosystem build and the crawl; 0 = hardware
+  /// concurrency. Both phases are byte-identical for every value.
   std::size_t threads = 0;
   /// dht-crawl: magnet URI whose x.pe hints bootstrap the DHT vantage.
   std::string bootstrap;
@@ -106,6 +106,9 @@ int cmd_simulate(const Options& options) {
     return 1;
   }
   ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  // One knob drives both parallel engines; either phase is byte-identical
+  // at any thread count.
+  config.threads = options.threads;
   config.crawler.threads = options.threads;
   std::fprintf(stderr, "building %s (seed %llu)...\n", config.name.c_str(),
                static_cast<unsigned long long>(config.seed));
@@ -210,6 +213,7 @@ int cmd_export(const Options& options) {
 
 int cmd_dht_crawl(const Options& options) {
   ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
+  config.threads = options.threads;
   config.crawler.threads = options.threads;
   config.dht_crawler.bootstrap_magnet = options.bootstrap;
   std::fprintf(stderr, "building %s (seed %llu)...\n", config.name.c_str(),
