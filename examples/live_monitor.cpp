@@ -8,9 +8,17 @@
 //
 // The monitor runs on the discrete-event engine: an RSS poll every five
 // minutes drives single tracker queries, exactly like the real deployment —
-// plus, new in this build, a trackerless cross-check: every discovery also
-// walks the Mainline DHT (iterative get_peers) and reports when the two
-// vantages disagree, the spoofed-tracker-announce signature.
+// plus a trackerless cross-check: every discovery also walks the Mainline
+// DHT (iterative get_peers) and reports when the two vantages disagree, the
+// spoofed-tracker-announce signature.
+//
+// New in this build: the streaming analysis layer (§4.5). A
+// StreamingClassifier rides the crawl as a CrawlObserver — every tracker
+// reply and DHT lookup feeds its sketches (HyperLogLog distinct-IP
+// estimates, count-min announce rates) and its online session estimator —
+// and the monitor prints rolling fake/top/altruistic verdicts with the
+// sketch error bounds every simulated six hours, instead of waiting for a
+// finished dataset.
 //
 // Build & run:   ./build/examples/live_monitor [seed]
 #include <cstdio>
@@ -18,6 +26,7 @@
 #include <unordered_set>
 
 #include "analysis/classify.hpp"
+#include "analysis/streaming/streaming_classifier.hpp"
 #include "core/ecosystem.hpp"
 #include "crawler/crawler.hpp"
 #include "portal/rss.hpp"
@@ -100,6 +109,14 @@ int main(int argc, char** argv) {
                   ecosystem.geo(), CrawlerConfig{}, seed);
   MonitorDb db(ecosystem.geo(), ecosystem.websites());
 
+  // The streaming layer: classification happens while measuring. Every
+  // discovery/peer/sighting the crawler makes streams into the sketches.
+  StreamingConfig stream_config;
+  stream_config.top_n = 10;  // the short two-day window has few publishers
+  StreamingClassifier stream(ecosystem.geo(), ecosystem.websites(),
+                             stream_config);
+  crawler.set_observer(&stream);
+
   // The trackerless vantage: the swarms' DHT overlay, polled read-only
   // from a measurement box that never joins the routing tables.
   const auto overlay = ecosystem.build_dht_overlay(config.window);
@@ -136,6 +153,14 @@ int main(int argc, char** argv) {
                     record->initial_peers >= 5 && dht_peers.empty()
                         ? "  << TRACKER/DHT MISMATCH (spoof?)"
                         : "");
+        // The DHT view streams into the same classifier: its sketches merge
+        // both vantages' peer observations.
+        if (!dht_peers.empty()) {
+          std::vector<IpAddress> dht_ips;
+          dht_ips.reserve(dht_peers.size());
+          for (const Endpoint& peer : dht_peers) dht_ips.push_back(peer.ip);
+          stream.on_downloaders(record->portal_id, dht_ips, now);
+        }
       }
     }
     // 2. Learn from moderation: accounts whose content vanished are fake.
@@ -143,15 +168,34 @@ int main(int argc, char** argv) {
                            id != kInvalidTorrent;
          ++id) {
       const auto page = ecosystem.portal().page(id, now);
-      if (page && page->removed) db.on_removal(page->username);
+      if (page && page->removed) {
+        db.on_removal(page->username);
+        stream.on_removal(id, now);  // provisional fake signal, mid-crawl
+      }
     }
     if (now < config.window) queue.schedule_in(minutes(5), poll);
   };
+  // 3. Rolling verdicts: every six simulated hours the streaming layer
+  // reports who currently looks fake / top / altruistic, with the sketch
+  // error bounds — analysis at crawl time, not post-hoc.
+  std::function<void()> report = [&] {
+    const SimTime now = queue.now();
+    const StreamingSnapshot snap = stream.round(now);
+    std::printf("\n---- rolling verdicts @ %s ----\n%s----\n\n",
+                format_duration(now).c_str(), snap.to_text().c_str());
+    if (now < config.window) queue.schedule_in(hours(6), report);
+  };
+  queue.schedule_at(hours(6), report);
   queue.schedule_at(0, poll);
   queue.run();
 
   std::printf("\nmonitored %zu contents; fake-publisher filter knows %zu "
               "banned accounts\n",
               db.contents(), db.flagged_accounts());
+
+  const StreamingSnapshot final_snap = stream.round(config.window);
+  std::printf("\nfinal streaming verdicts (%llu sketch updates):\n%s",
+              static_cast<unsigned long long>(stream.updates()),
+              final_snap.to_text().c_str());
   return 0;
 }

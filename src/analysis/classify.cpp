@@ -38,16 +38,27 @@ std::string_view to_string(BusinessClass c) {
 }
 
 std::optional<std::string> domain_from_textbox(std::string_view textbox) {
-  static constexpr std::string_view kPrefix = "http://www.";
-  const std::size_t pos = textbox.find(kPrefix);
-  if (pos == std::string_view::npos) return std::nullopt;
-  std::size_t begin = pos + kPrefix.size();
-  std::size_t end = begin;
-  while (end < textbox.size() && is_domain_char(textbox[end])) ++end;
-  if (end == begin) return std::nullopt;
-  std::string domain(textbox.substr(begin, end - begin));
-  if (!ends_with_tld(domain)) return std::nullopt;
-  return domain;
+  // Promoting URLs appear as http://www.domain.tld, https://www.domain.tld
+  // or the bare http(s)://domain.tld form. The original matcher anchored on
+  // the literal "http://www." prefix, so the other two forms were silently
+  // never attributed and their publishers fell through to Altruistic. Scan
+  // every scheme occurrence until one yields an allowlisted domain.
+  static constexpr std::string_view kScheme = "http";
+  for (std::size_t pos = textbox.find(kScheme); pos != std::string_view::npos;
+       pos = textbox.find(kScheme, pos + 1)) {
+    std::size_t begin = pos + kScheme.size();
+    if (begin < textbox.size() && textbox[begin] == 's') ++begin;
+    if (textbox.substr(begin, 3) != "://") continue;
+    begin += 3;
+    // "www." is a presentation prefix, not part of the promoted domain.
+    if (textbox.substr(begin, 4) == "www.") begin += 4;
+    std::size_t end = begin;
+    while (end < textbox.size() && is_domain_char(textbox[end])) ++end;
+    if (end == begin) continue;
+    std::string domain(textbox.substr(begin, end - begin));
+    if (ends_with_tld(domain)) return domain;
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> domain_from_title(std::string_view title) {

@@ -38,6 +38,22 @@ std::vector<Interval> reconstruct_sessions(std::span<const SimTime> sightings,
                                            SimDuration query_gap) {
   std::vector<Interval> sessions;
   if (sightings.empty()) return sessions;
+  // A negative query gap would produce end < start intervals whose negative
+  // lengths silently *subtract* seeding hours downstream; clamp to zero (a
+  // lone sighting then contributes a zero-length session, never negative).
+  if (query_gap < 0) query_gap = 0;
+  // The gap rule below assumes ascending sightings. Merged multi-vantage
+  // timelines (tracker + DHT machines interleaving) can arrive out of
+  // order, and running the sweep on an unsorted span fabricates phantom
+  // session splits at every backwards jump — inflating session counts and
+  // seeding hours. Verify, and sort a local copy only when actually needed
+  // (the common single-vantage path stays allocation-free).
+  std::vector<SimTime> sorted;
+  if (!std::is_sorted(sightings.begin(), sightings.end())) {
+    sorted.assign(sightings.begin(), sightings.end());
+    std::sort(sorted.begin(), sorted.end());
+    sightings = sorted;
+  }
   SimTime start = sightings.front();
   SimTime last = sightings.front();
   for (std::size_t i = 1; i < sightings.size(); ++i) {

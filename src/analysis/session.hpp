@@ -35,9 +35,12 @@ std::size_t queries_for_probability(double w, double n, double target);
 
 /// Turns sparse sighting times into presence sessions: consecutive
 /// sightings closer than `offline_gap` belong to one session (the paper's
-/// 4 h threshold; robustness checked at 2 h and 6 h). Sightings must be
-/// sorted ascending. Each session is [first_sighting, last_sighting +
-/// one nominal query gap).
+/// 4 h threshold; robustness checked at 2 h and 6 h). Unsorted input
+/// (merged multi-vantage timelines) is detected and sorted defensively —
+/// the result is always the sorted-order reconstruction. Each session is
+/// [first_sighting, last_sighting + one nominal query gap); a single
+/// sighting yields exactly one query_gap-long session. Negative query gaps
+/// are clamped to zero.
 std::vector<Interval> reconstruct_sessions(std::span<const SimTime> sightings,
                                            SimDuration offline_gap,
                                            SimDuration query_gap = minutes(15));

@@ -1,0 +1,43 @@
+#include "analysis/streaming/online_session.hpp"
+
+namespace btpub {
+
+void OnlineSessionEstimator::add_sighting(SimTime t) {
+  ++sightings_;
+  if (t <= newest_ && sightings_ > 1) ++out_of_order_;
+  newest_ = std::max(newest_, t);
+
+  // The cluster that could absorb t from the left: greatest start <= t.
+  auto next = clusters_.upper_bound(t);
+  auto home = clusters_.end();
+  if (next != clusters_.begin()) {
+    auto prev = std::prev(next);
+    if (t <= prev->second) return;  // inside an existing session: no change
+    if (t - prev->second <= offline_gap_) {
+      span_sum_ += t - prev->second;
+      prev->second = t;
+      home = prev;
+    }
+  }
+  if (home == clusters_.end()) {
+    home = clusters_.emplace(t, t).first;
+    next = std::next(home);
+  }
+  // Bridge with the following cluster when t closed the gap.
+  if (next != clusters_.end() && next->first - t <= offline_gap_) {
+    span_sum_ += next->first - home->second;  // the bridged gap
+    home->second = next->second;
+    clusters_.erase(next);
+  }
+}
+
+std::vector<Interval> OnlineSessionEstimator::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(clusters_.size());
+  for (const auto& [start, last] : clusters_) {
+    out.push_back(Interval{start, last + query_gap_});
+  }
+  return out;
+}
+
+}  // namespace btpub

@@ -1,0 +1,199 @@
+// streaming_classifier.hpp — the real-time publisher classifier (§4.5).
+//
+// The batch pipeline answers "fake / top / altruistic?" only after a crawl
+// has finished: IdentityAnalysis aggregates a complete Dataset, then
+// classify_top_publishers replays the downloader experience. This class is
+// the crawl-time equivalent: it implements CrawlObserver, consumes the
+// observation stream from either vantage (or both) while crawling, and can
+// emit provisional verdicts at every poll round — with bounded memory.
+//
+//   * Per-torrent distinct downloader IPs: a HyperLogLog per monitored
+//     torrent (the streaming replacement, on the observation side, for the
+//     finalize-only cached Swarm::distinct_downloader_ips ground-truth
+//     path) — O(2^p) bytes per torrent instead of a per-IP hash set.
+//   * Per-IP announce rates: one shared count-min sketch; publisher IPs
+//     whose observation rate exceeds the alert threshold are flagged as a
+//     provisional fake signal (decoy-flood posture).
+//   * Sessions: an OnlineSessionEstimator per identified publisher, fed
+//     one sighting at a time.
+//
+// Verdict convergence (pinned by streaming_test): the *exact* classifier
+// inputs — who published what, promotion findings, username <-> IP links,
+// moderation bans — are small per-publisher state kept exactly, so
+// finalize() reproduces IdentityAnalysis + classify_top_publishers
+// (unsampled) verbatim on the same observations, at any crawl thread
+// count. Only the distinct-IP counts are estimates, and those stay within
+// the sketch's documented error bound.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/groups.hpp"
+#include "analysis/streaming/online_session.hpp"
+#include "analysis/streaming/sketch.hpp"
+#include "crawler/observer.hpp"
+#include "geo/geo_db.hpp"
+#include "websim/website.hpp"
+
+namespace btpub {
+
+struct StreamingConfig {
+  /// Size of the "top publishers" cut (the paper's 100).
+  std::size_t top_n = 100;
+  /// Fake-farm thresholds, identical to the batch rule.
+  FakeDetectionConfig fake{};
+  /// Appendix-A session parameters.
+  SimDuration offline_gap = hours(4);
+  SimDuration query_gap = minutes(15);
+  /// HyperLogLog precision: 2^p registers per torrent (p=12 -> 4 KiB,
+  /// ~1.6% standard error).
+  int hll_precision = 12;
+  /// Count-min geometry for the per-IP announce-rate sketch.
+  std::size_t cms_width = 4096;
+  std::size_t cms_depth = 4;
+  /// Salt folded into every sketch hash (determinism: same salt, same
+  /// registers).
+  std::uint64_t sketch_salt = 0x5eed5eedULL;
+  /// Provisional fake signal: a publisher IP observed more often than this
+  /// many times per hour of its monitoring span is rate-flagged.
+  double announce_rate_alert = 120.0;
+};
+
+/// One publisher's rolling verdict.
+struct PublisherVerdict {
+  std::string username;
+  std::size_t content_count = 0;
+  /// Sum over torrents of HLL-estimated distinct downloader IPs (the
+  /// streaming stand-in for the batch download_count).
+  double est_downloads = 0.0;
+  bool fake = false;
+  /// True when the fake call came only from the mid-crawl moderation
+  /// signal (provisional rounds), not yet from the user-page ban.
+  bool provisional_fake = false;
+  bool top = false;
+  bool hosting_provider = false;  // Top-HP vs Top-CI split (top only)
+  /// Business classification (top publishers only; Altruistic otherwise).
+  BusinessClass cls = BusinessClass::Altruistic;
+  std::string domain;
+  bool in_textbox = false, in_filename = false, in_payload = false;
+  std::optional<Language> dominant_language;
+  /// Appendix-A streaming estimates (tracker vantage only).
+  double seeding_hours = 0.0;       // mean per-torrent session time
+  double aggregated_hours = 0.0;    // union across torrents
+  double parallel_torrents = 0.0;
+  /// Count-min announce observations of the busiest publisher IP, and the
+  /// rate flag derived from it.
+  std::uint64_t announce_observations = 0;
+  bool rate_flagged = false;
+};
+
+/// What one poll round (or finalize) reports.
+struct StreamingSnapshot {
+  SimTime at = 0;
+  std::size_t torrents = 0;
+  std::size_t publishers = 0;
+  /// Verdicts sorted like the batch ranking: content desc, first portal id
+  /// asc. Covers every observed username.
+  std::vector<PublisherVerdict> verdicts;
+  /// Per-torrent HLL estimates (portal-id ascending).
+  struct TorrentEstimate {
+    TorrentId id = kInvalidTorrent;
+    double est_distinct_downloaders = 0.0;
+  };
+  std::vector<TorrentEstimate> torrent_estimates;
+  /// Merged-HLL estimate of distinct downloader IPs across all torrents.
+  double est_distinct_ips_global = 0.0;
+  /// One standard error of every HLL estimate, as a fraction.
+  double hll_relative_error = 0.0;
+  /// Count-min over-estimation bound: err <= cms_epsilon * announce_total.
+  double cms_epsilon = 0.0;
+  std::uint64_t announce_total = 0;
+
+  /// The members of the top cut, in rank order.
+  std::vector<std::string> top() const;
+  /// Usernames currently called fake.
+  std::vector<std::string> fakes() const;
+  /// Canonical multi-line rendering (stable across runs — the 1-vs-N
+  /// byte-identity oracle, also what live_monitor prints).
+  std::string to_text() const;
+};
+
+class StreamingClassifier : public CrawlObserver {
+ public:
+  StreamingClassifier(const GeoDb& geo, const WebsiteDirectory& websites,
+                      StreamingConfig config = {});
+
+  // CrawlObserver (thread-safe; see observer.hpp for the contract).
+  void on_discover(const TorrentRecord& record, SimTime now) override;
+  void on_downloaders(TorrentId id, std::span<const IpAddress> ips,
+                      SimTime now) override;
+  void on_publisher_sighting(TorrentId id, SimTime now) override;
+  void on_removal(TorrentId id, SimTime now) override;
+  void on_user_page(const std::string& username, const UserPage& page) override;
+
+  /// Provisional verdicts mid-crawl: moderation removals observed so far
+  /// stand in for the user-page bans that only exist at crawl end, and
+  /// rate flags feed the fake signal. Must not run concurrently with
+  /// observation pushes.
+  StreamingSnapshot round(SimTime now) const { return snapshot(now, true); }
+  /// End-of-crawl verdicts: exact batch semantics (user-page bans only).
+  StreamingSnapshot finalize(SimTime now = 0) const {
+    return snapshot(now, false);
+  }
+
+  /// Count-min point estimate for one IP's announce observations.
+  std::uint64_t announce_count(IpAddress ip) const {
+    return announce_rates_.count(ip.value());
+  }
+
+  const StreamingConfig& config() const noexcept { return config_; }
+  std::size_t torrents_seen() const;
+  std::uint64_t updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-torrent state, owned by the one worker crawling that torrent.
+  struct TorrentSlot {
+    TorrentId id = kInvalidTorrent;
+    std::string username;
+    Language language = Language::English;
+    std::optional<PromoFinding> finding;
+    std::optional<IpAddress> publisher_ip;
+    bool removed = false;
+    SimTime discovered_at = 0;
+    SimTime last_observation = 0;
+    HyperLogLog downloaders;
+    OnlineSessionEstimator sessions;
+
+    TorrentSlot(int hll_precision, std::uint64_t salt, SimDuration offline_gap,
+                SimDuration query_gap)
+        : downloaders(hll_precision, salt),
+          sessions(offline_gap, query_gap) {}
+  };
+
+  TorrentSlot* find_slot(TorrentId id) const;
+  StreamingSnapshot snapshot(SimTime now, bool provisional) const;
+
+  const GeoDb* geo_;
+  const WebsiteDirectory* websites_;
+  StreamingConfig config_;
+
+  /// Guards the slot map and the user-page table; slot *contents* are
+  /// single-owner and accessed without it.
+  mutable std::shared_mutex mu_;
+  std::unordered_map<TorrentId, std::unique_ptr<TorrentSlot>> slots_;
+  std::unordered_map<std::string, bool> user_banned_;
+
+  CountMinSketch announce_rates_;
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+}  // namespace btpub

@@ -31,15 +31,21 @@ Endpoint Crawler::vantage(std::size_t index) const {
 void Crawler::record_reply(const AnnounceReply& reply, TorrentRecord& record,
                            std::vector<IpAddress>& ips,
                            std::vector<SimTime>& sightings,
-                           std::unordered_set<IpAddress>& seen, SimTime now) {
+                           CrawlScratch& scratch, SimTime now) {
   record.max_concurrent =
       std::max(record.max_concurrent, reply.complete + reply.incomplete);
+  scratch.observed.clear();
   for (const Endpoint& peer : reply.peers) {
     if (record.publisher_ip && peer.ip == *record.publisher_ip) {
       sightings.push_back(now);
+      if (observer_) observer_->on_publisher_sighting(record.portal_id, now);
       continue;
     }
-    if (seen.insert(peer.ip).second) ips.push_back(peer.ip);
+    if (scratch.seen.insert(peer.ip).second) ips.push_back(peer.ip);
+    if (observer_) scratch.observed.push_back(peer.ip);
+  }
+  if (observer_ && !scratch.observed.empty()) {
+    observer_->on_downloaders(record.portal_id, scratch.observed, now);
   }
 }
 
@@ -58,35 +64,40 @@ void Crawler::first_contact(TorrentRecord& record, std::vector<IpAddress>& ips,
   const AnnounceReply& reply = scratch.reply;
   record.first_seen = now;
   ++record.query_count;
-  if (!reply.ok) return;
-  record.initial_seeders = reply.complete;
-  record.initial_peers = reply.complete + reply.incomplete;
+  if (reply.ok) {
+    record.initial_seeders = reply.complete;
+    record.initial_peers = reply.complete + reply.incomplete;
 
-  // Initial-seeder identification: only feasible in a young swarm with a
-  // single seeder and few participants (§2). Probe every returned peer and
-  // look for the complete bitfield.
-  if (reply.complete == 1 && record.initial_peers < config_.max_probe_peers) {
-    for (const Endpoint& peer : reply.peers) {
-      const auto probe = network_->probe(record.infohash, peer, now);
-      if (!probe) continue;  // NAT or gone
-      const auto handshake = Handshake::decode(probe->handshake);
-      if (!handshake || handshake->infohash != record.infohash) continue;
-      std::size_t pos = 0;
-      const auto message = decode_message(probe->bitfield, pos);
-      if (!message || message->type != WireMessageType::Bitfield) continue;
-      Bitfield field;
-      try {
-        field = Bitfield::from_bytes(message->payload, record.piece_count);
-      } catch (const std::invalid_argument&) {
-        continue;
-      }
-      if (field.complete()) {
-        record.publisher_ip = peer.ip;
-        break;
+    // Initial-seeder identification: only feasible in a young swarm with a
+    // single seeder and few participants (§2). Probe every returned peer and
+    // look for the complete bitfield.
+    if (reply.complete == 1 && record.initial_peers < config_.max_probe_peers) {
+      for (const Endpoint& peer : reply.peers) {
+        const auto probe = network_->probe(record.infohash, peer, now);
+        if (!probe) continue;  // NAT or gone
+        const auto handshake = Handshake::decode(probe->handshake);
+        if (!handshake || handshake->infohash != record.infohash) continue;
+        std::size_t pos = 0;
+        const auto message = decode_message(probe->bitfield, pos);
+        if (!message || message->type != WireMessageType::Bitfield) continue;
+        Bitfield field;
+        try {
+          field = Bitfield::from_bytes(message->payload, record.piece_count);
+        } catch (const std::invalid_argument&) {
+          continue;
+        }
+        if (field.complete()) {
+          record.publisher_ip = peer.ip;
+          break;
+        }
       }
     }
   }
-  record_reply(reply, record, ips, sightings, scratch.seen, now);
+  // Discovery streams out after the probe so the observer learns the
+  // identified publisher with the record, and before any peer push so
+  // on_discover always precedes the per-peer hooks.
+  if (observer_) observer_->on_discover(record, now);
+  if (reply.ok) record_reply(reply, record, ips, sightings, scratch, now);
 }
 
 void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
@@ -118,7 +129,7 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
     const AnnounceReply& reply = scratch.reply;
     ++record.query_count;
     if (reply.ok) {
-      record_reply(reply, record, ips, sightings, scratch.seen, now);
+      record_reply(reply, record, ips, sightings, scratch, now);
       if (reply.peers.empty()) {
         if (++consecutive_empty >= config_.empty_replies_to_stop) break;
       } else {
@@ -131,6 +142,7 @@ void Crawler::monitor(TorrentRecord& record, std::vector<IpAddress>& ips,
       if (page && page->removed) {
         record.observed_removed = true;
         record.observed_removed_at = now;
+        if (observer_) observer_->on_removal(record.portal_id, now);
       }
       next_page_check = now + config_.page_recheck;
     }
@@ -279,9 +291,12 @@ Dataset Crawler::crawl_window(SimTime window_start, SimTime window_end) {
     for (const TorrentRecord& record : dataset.torrents) {
       if (record.username.empty()) continue;
       if (!dataset.user_pages.contains(record.username)) {
-        dataset.user_pages.emplace(record.username,
-                                   portal_->user_page(record.username,
-                                                      window_end + config_.grace));
+        const auto [it, inserted] = dataset.user_pages.emplace(
+            record.username,
+            portal_->user_page(record.username, window_end + config_.grace));
+        if (observer_ && inserted) {
+          observer_->on_user_page(record.username, it->second);
+        }
       }
     }
   }

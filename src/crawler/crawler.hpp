@@ -31,6 +31,7 @@
 #include <unordered_set>
 
 #include "crawler/dataset.hpp"
+#include "crawler/observer.hpp"
 #include "geo/geo_db.hpp"
 #include "portal/portal.hpp"
 #include "swarm/network.hpp"
@@ -80,6 +81,11 @@ class Crawler {
 
   const CrawlerConfig& config() const noexcept { return config_; }
 
+  /// Attaches the crawl-time observation stream (§4.5). The observer
+  /// outlives the crawl and receives hooks from every worker thread —
+  /// see observer.hpp for the threading contract. Null detaches.
+  void set_observer(CrawlObserver* observer) noexcept { observer_ = observer; }
+
  private:
   /// Everything one torrent's crawl produces; merged in portal-id order.
   struct CrawlResult {
@@ -98,6 +104,8 @@ class Crawler {
     AnnounceReply reply;
     Tracker::AnnounceScratch announce;
     std::unordered_set<IpAddress> seen;
+    /// Per-reply non-publisher IPs batched into one observer push.
+    std::vector<IpAddress> observed;
   };
 
   /// Full per-torrent crawl (discovery + monitoring). Pure function of
@@ -123,15 +131,17 @@ class Crawler {
                std::vector<SimTime>& sightings, CrawlScratch& scratch,
                SimTime hard_stop);
   Endpoint vantage(std::size_t index) const;
-  /// Dedup-inserts the peers of a reply; records publisher sightings.
+  /// Dedup-inserts the peers of a reply; records publisher sightings and
+  /// streams both to the attached observer.
   void record_reply(const AnnounceReply& reply, TorrentRecord& record,
                     std::vector<IpAddress>& ips, std::vector<SimTime>& sightings,
-                    std::unordered_set<IpAddress>& seen, SimTime now);
+                    CrawlScratch& scratch, SimTime now);
 
   const Portal* portal_;
   Tracker* tracker_;
   SwarmNetwork* network_;
   const GeoDb* geo_;
+  CrawlObserver* observer_ = nullptr;
   CrawlerConfig config_;
   /// Root seed; per-torrent substreams are derive_seed(seed_, portal_id).
   std::uint64_t seed_;

@@ -120,11 +120,13 @@ Dataset DhtCrawler::crawl_window(SimTime window_start, SimTime window_end) {
       m.record.first_seen = now;
       m.discovered = true;
       m.ok = true;
+      if (observer_) observer_->on_discover(m.record, now);
     } else if (!m.record.observed_removed) {
       const auto page = portal_->page(m.id, now);
       if (page && page->removed) {
         m.record.observed_removed = true;
         m.record.observed_removed_at = now;
+        if (observer_) observer_->on_removal(m.id, now);
       }
     }
 
@@ -147,6 +149,11 @@ Dataset DhtCrawler::crawl_window(SimTime window_start, SimTime window_end) {
     for (const Endpoint& peer : peers) {
       if (m.seen.insert(peer.ip).second) m.ips.push_back(peer.ip);
     }
+    if (observer_ && !peers.empty()) {
+      observed_.clear();
+      for (const Endpoint& peer : peers) observed_.push_back(peer.ip);
+      observer_->on_downloaders(m.id, observed_, now);
+    }
     if (peers.empty()) {
       if (++m.consecutive_empty >= config_.empty_lookups_to_stop) continue;
     } else {
@@ -166,8 +173,11 @@ Dataset DhtCrawler::crawl_window(SimTime window_start, SimTime window_end) {
     for (const TorrentRecord& record : dataset.torrents) {
       if (record.username.empty()) continue;
       if (!dataset.user_pages.contains(record.username)) {
-        dataset.user_pages.emplace(
+        const auto [it, inserted] = dataset.user_pages.emplace(
             record.username, portal_->user_page(record.username, hard_stop));
+        if (observer_ && inserted) {
+          observer_->on_user_page(record.username, it->second);
+        }
       }
     }
   }

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "crawler/dataset.hpp"
+#include "crawler/observer.hpp"
 #include "dht/overlay.hpp"
 #include "portal/portal.hpp"
 
@@ -68,6 +69,12 @@ class DhtCrawler {
   const DhtCrawlerConfig& config() const noexcept { return config_; }
   const DhtCrawlTotals& totals() const noexcept { return totals_; }
 
+  /// Attaches the crawl-time observation stream (§4.5). The DHT vantage
+  /// never identifies publishers, so on_downloaders carries every returned
+  /// IP and on_publisher_sighting never fires — mirroring the vantage's
+  /// Dataset semantics. Single-threaded: hooks fire from the polling loop.
+  void set_observer(CrawlObserver* observer) noexcept { observer_ = observer; }
+
  private:
   /// The single measurement box; read-only (BEP 43), so the vantage never
   /// enters any routing table.
@@ -75,10 +82,13 @@ class DhtCrawler {
 
   const Portal* portal_;
   dht::DhtOverlay* overlay_;
+  CrawlObserver* observer_ = nullptr;
   DhtCrawlerConfig config_;
   std::uint64_t seed_;
   std::vector<Endpoint> bootstrap_;
   DhtCrawlTotals totals_;
+  /// Per-lookup IP batch for the observer push (capacity reused).
+  std::vector<IpAddress> observed_;
 };
 
 }  // namespace btpub

@@ -12,11 +12,38 @@ TEST(DomainFromTextbox, FindsUrl) {
   EXPECT_EQ(domain_from_textbox("x http://www.my-site.net rest"), "my-site.net");
 }
 
+TEST(DomainFromTextbox, FindsHttpsUrl) {
+  // Regression: the original matcher anchored on the literal "http://www."
+  // prefix, so https promotions were silently classified altruistic.
+  EXPECT_EQ(domain_from_textbox("https://www.skipped.com/"), "skipped.com");
+  EXPECT_EQ(domain_from_textbox("now at https://zona.to forever"), "zona.to");
+}
+
+TEST(DomainFromTextbox, FindsBareSchemeUrl) {
+  // Regression: same bug, second form — no "www." presentation prefix.
+  EXPECT_EQ(domain_from_textbox("seed http://divxatope.com/ thx"),
+            "divxatope.com");
+  EXPECT_EQ(domain_from_textbox("http://my-site.net"), "my-site.net");
+}
+
+TEST(DomainFromTextbox, SkipsBogusMatchUntilValidUrl) {
+  // A non-allowlisted TLD first, a valid promotion later: the scan must not
+  // stop at the first scheme occurrence.
+  EXPECT_EQ(domain_from_textbox("http://bad.example then http://good.org"),
+            "good.org");
+  // "https" text without "://" is not a URL.
+  EXPECT_EQ(domain_from_textbox("https everywhere, also http://real.com"),
+            "real.com");
+}
+
 TEST(DomainFromTextbox, RejectsAbsentOrBogus) {
   EXPECT_FALSE(domain_from_textbox("no urls here").has_value());
   EXPECT_FALSE(domain_from_textbox("http://www.").has_value());
+  EXPECT_FALSE(domain_from_textbox("https://www.").has_value());
   EXPECT_FALSE(domain_from_textbox("http://www.nodots/").has_value());
-  EXPECT_FALSE(domain_from_textbox("https://www.skipped.com/").has_value());
+  EXPECT_FALSE(domain_from_textbox("https://nodots/").has_value());
+  EXPECT_FALSE(domain_from_textbox("http:/missing.com").has_value());
+  EXPECT_FALSE(domain_from_textbox("ftp://files.com/").has_value());
 }
 
 TEST(DomainFromTitle, FindsSuffix) {

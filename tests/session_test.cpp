@@ -108,6 +108,61 @@ TEST(ReconstructSessions, ThresholdSensitivity) {
   EXPECT_EQ(reconstruct_sessions(sightings, hours(6)).size(), 1u);
 }
 
+TEST(ReconstructSessions, ShuffledInputMatchesSorted) {
+  // Regression: the sweep assumed ascending input; a merged multi-vantage
+  // timeline arriving out of order fabricated a phantom session split at
+  // every backwards jump. Sorted and shuffled inputs must now reconstruct
+  // identical intervals.
+  const std::vector<SimTime> sorted{0,        minutes(30), hours(1),
+                                    hours(8), hours(9),    hours(20)};
+  const auto expected = reconstruct_sessions(sorted, hours(4), minutes(15));
+  ASSERT_EQ(expected.size(), 3u);
+
+  std::vector<SimTime> shuffled = sorted;
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    rng.shuffle(shuffled);
+    const auto sessions = reconstruct_sessions(shuffled, hours(4), minutes(15));
+    ASSERT_EQ(sessions.size(), expected.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      EXPECT_EQ(sessions[i].start, expected[i].start);
+      EXPECT_EQ(sessions[i].end, expected[i].end);
+    }
+  }
+}
+
+TEST(ReconstructSessions, ReversedInputNoPhantomSessions) {
+  // The worst case of the old bug: strictly descending sightings split into
+  // one phantom session per element.
+  const std::vector<SimTime> reversed{hours(2), hours(1), 0};
+  const auto sessions = reconstruct_sessions(reversed, hours(4), minutes(15));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].start, 0);
+  EXPECT_EQ(sessions[0].end, hours(2) + minutes(15));
+}
+
+TEST(ReconstructSessions, NegativeQueryGapClampedToZero) {
+  // A negative gap would emit end < start intervals whose negative lengths
+  // *subtract* seeding time downstream; it is clamped to zero instead.
+  const std::vector<SimTime> sightings{hours(2)};
+  const auto sessions = reconstruct_sessions(sightings, hours(4), -minutes(15));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].start, hours(2));
+  EXPECT_EQ(sessions[0].end, hours(2));
+  EXPECT_EQ(sessions[0].length(), 0);
+}
+
+TEST(UnionLength, ZeroLengthIntervals) {
+  // Zero-length intervals contribute nothing but must not corrupt the
+  // cover sweep around them.
+  EXPECT_EQ(union_length({{5, 5}}), 0);
+  EXPECT_EQ(union_length({{5, 5}, {5, 5}}), 0);
+  EXPECT_EQ(union_length({{0, 10}, {5, 5}}), 10);        // nested point
+  EXPECT_EQ(union_length({{5, 5}, {0, 10}}), 10);
+  EXPECT_EQ(union_length({{0, 0}, {0, 10}, {10, 10}}), 10);
+  EXPECT_EQ(union_length({{0, 5}, {7, 7}, {9, 12}}), 8);  // point in a gap
+}
+
 TEST(UnionLength, DisjointAndOverlapping) {
   EXPECT_EQ(union_length({}), 0);
   EXPECT_EQ(union_length({{0, 10}}), 10);
@@ -151,6 +206,20 @@ TEST_F(SeedingMetricsTest, PerTorrentAndAggregates) {
   // Union = 6h15m (torrent 1 nested in torrent 0).
   EXPECT_NEAR(m.aggregated_session_hours, 6.25, 0.01);
   EXPECT_NEAR(m.avg_parallel_torrents, 8.5 / 6.25, 0.01);
+}
+
+TEST_F(SeedingMetricsTest, SingleSightingTorrentCountsOneQueryGapSession) {
+  // A publisher seen exactly once is present for one nominal query gap —
+  // never zero hours, and never a phantom extra session.
+  dataset_.torrents.emplace_back();
+  dataset_.downloaders.emplace_back();
+  dataset_.publisher_sightings.push_back({days(1)});
+  const std::vector<std::size_t> indices{3};
+  const SeedingMetrics m = seeding_metrics(dataset_, indices, hours(4));
+  EXPECT_EQ(m.torrents_with_data, 1u);
+  EXPECT_NEAR(m.avg_seeding_hours, 0.25, 1e-9);          // 15 min
+  EXPECT_NEAR(m.aggregated_session_hours, 0.25, 1e-9);
+  EXPECT_NEAR(m.avg_parallel_torrents, 1.0, 1e-9);
 }
 
 TEST_F(SeedingMetricsTest, NoDataPublisher) {
