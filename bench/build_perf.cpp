@@ -15,8 +15,18 @@
 // is what the lazy typed cursors actually kept in memory — the
 // O(sessions x window/30min) vs O(sessions) headline.
 //
+// --snapshot switches to the dataset snapshot suite (emits
+// BENCH_snapshot.json by default): synthetic million-session worlds are
+// built deterministically, then each persistence phase — pointer-heavy
+// Dataset build, CompactDataset conversion, stream save/load, mmap
+// save/load (+ inflate) — runs fork-isolated for wall time and honest
+// peak RSS. The mmap load case opens the snapshot AND scans every
+// downloader entry (distinct-IP count over the view), so its timing
+// includes faulting the data in, not just the mmap() call.
+//
 // Usage: build_perf [--json PATH] [--threads N] [--scenario NAME]
 //                   [--seed N] [--quick]
+//                   [--snapshot] [--sessions N[,N...]] [--dir PATH]
 #include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -26,23 +36,34 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/ecosystem.hpp"
+#include "crawler/compact_dataset.hpp"
+#include "crawler/dataset_io.hpp"
+#include "crawler/dataset_mmap.hpp"
+#include "util/rng.hpp"
 
 namespace btpub {
 namespace {
 
 struct Options {
-  std::string json_path = "BENCH_build.json";
+  std::string json_path;  // defaulted per mode in run()
   std::string scenario = "quick";
   std::uint64_t seed = 42;
   /// The parallel case's worker count (the "N" in 1-vs-N).
   std::size_t threads = 4;
   bool quick = false;
+  bool snapshot = false;
+  /// Session counts for the snapshot suite (downloader entries per world).
+  std::vector<std::uint64_t> sessions = {1'000'000, 10'000'000};
+  /// Scratch directory for the snapshot suite's cache files.
+  std::string dir = "/tmp";
 };
 
 ScenarioConfig scenario_by_name(const Options& opt) {
@@ -160,6 +181,421 @@ struct Row {
   CaseResult r;
 };
 
+// ---------------------------------------------------------------------------
+// Snapshot suite (--snapshot): synthetic worlds + persistence phases.
+// ---------------------------------------------------------------------------
+
+/// POD shipped child -> parent for one snapshot phase.
+struct SnapResult {
+  double seconds = 0.0;
+  long peak_rss_kb = 0;
+  std::uint64_t torrents = 0;
+  std::uint64_t sessions = 0;      // downloader entries actually produced
+  std::uint64_t bytes = 0;         // in-memory bytes (build phases)
+  std::uint64_t distinct_ips = 0;  // cross-phase sanity value
+};
+
+/// Deterministic synthetic crawl world with ~`sessions` downloader
+/// entries spread over sessions/20 torrents. Usernames draw from a 10K
+/// pool (interning realism: heavy cross-torrent sharing), titles and
+/// filenames are unique per torrent (arena growth realism).
+Dataset synth_dataset(std::uint64_t sessions, std::uint64_t seed) {
+  Dataset d;
+  d.name = "synthetic-snapshot";
+  d.style = DatasetStyle::Pb10;
+  d.window_start = 0;
+  d.window_end = days(44);
+
+  const std::uint64_t torrents = std::max<std::uint64_t>(1, sessions / 20);
+  const std::uint64_t user_pool =
+      std::min<std::uint64_t>(10'000, std::max<std::uint64_t>(1, torrents / 4));
+  d.torrents.reserve(torrents);
+  d.downloaders.reserve(torrents);
+  d.publisher_sightings.reserve(torrents);
+
+  char buf[64];
+  for (std::uint64_t i = 0; i < torrents; ++i) {
+    Rng rng(derive_seed(seed, 0xda7a, i));
+    TorrentRecord r;
+    r.portal_id = static_cast<TorrentId>(i);
+    for (std::size_t k = 0; k < r.infohash.bytes.size(); ++k) {
+      r.infohash.bytes[k] = static_cast<std::uint8_t>(rng() >> 56);
+    }
+    std::snprintf(buf, sizeof buf, "Title.%llu.x264",
+                  static_cast<unsigned long long>(i));
+    r.title = buf;
+    r.category = static_cast<ContentCategory>(rng.uniform_int(0, 5));
+    r.language = static_cast<Language>(rng.uniform_int(0, 3));
+    r.size_bytes = rng.uniform_int(1 << 20, std::int64_t{1} << 33);
+    std::snprintf(buf, sizeof buf, "user%llu",
+                  static_cast<unsigned long long>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(user_pool) - 1)));
+    r.username = buf;
+    if (rng.uniform() < 0.6) {
+      r.publisher_ip = IpAddress(static_cast<std::uint32_t>(rng()));
+    }
+    r.published_at = rng.uniform_int(0, d.window_end);
+    r.first_seen = r.published_at;
+    if (rng.uniform() < 0.1) r.textbox = "visit http://promo.example/now";
+    const int n_files = static_cast<int>(rng.uniform_int(1, 3));
+    for (int f = 0; f < n_files; ++f) {
+      std::snprintf(buf, sizeof buf, "payload.%llu.part%d.rar",
+                    static_cast<unsigned long long>(i), f);
+      r.payload_filenames.emplace_back(buf);
+    }
+    r.piece_count = static_cast<std::size_t>(rng.uniform_int(16, 4096));
+    r.initial_seeders = static_cast<std::uint32_t>(rng.uniform_int(0, 50));
+    r.initial_peers = static_cast<std::uint32_t>(rng.uniform_int(0, 200));
+    r.query_count = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+
+    // Spread the session budget: torrent i gets the base share, the first
+    // `sessions % torrents` torrents one extra.
+    std::uint64_t quota = sessions / torrents + (i < sessions % torrents ? 1 : 0);
+    std::vector<IpAddress> ips;
+    ips.reserve(quota);
+    for (std::uint64_t s = 0; s < quota; ++s) {
+      ips.emplace_back(static_cast<std::uint32_t>(rng()));
+    }
+    r.max_concurrent = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        quota, 1 + static_cast<std::uint64_t>(rng.uniform_int(1, 64))));
+    std::vector<SimTime> sightings;
+    if (r.publisher_ip) {
+      const int n = static_cast<int>(rng.uniform_int(1, 3));
+      for (int s = 0; s < n; ++s) {
+        sightings.push_back(rng.uniform_int(r.published_at, d.window_end));
+      }
+    }
+    d.torrents.push_back(std::move(r));
+    d.downloaders.push_back(std::move(ips));
+    d.publisher_sightings.push_back(std::move(sightings));
+  }
+  for (std::uint64_t u = 0; u < user_pool; ++u) {
+    Rng rng(derive_seed(seed, 0x05e4, u));
+    UserPage page;
+    std::snprintf(buf, sizeof buf, "user%llu",
+                  static_cast<unsigned long long>(u));
+    page.username = buf;
+    page.banned = rng.uniform() < 0.05;
+    const int n = static_cast<int>(rng.uniform_int(0, 8));
+    for (int s = 0; s < n; ++s) {
+      page.publish_times.push_back(rng.uniform_int(0, d.window_end));
+    }
+    d.user_pages.emplace(page.username, std::move(page));
+  }
+  return d;
+}
+
+std::uint64_t dataset_sessions(const Dataset& d) {
+  std::uint64_t n = 0;
+  for (const auto& ips : d.downloaders) n += ips.size();
+  return n;
+}
+
+/// Rough heap footprint of the pointer-heavy form (for the bytes column).
+std::uint64_t dataset_bytes_estimate(const Dataset& d) {
+  std::uint64_t bytes = sizeof(Dataset);
+  for (const TorrentRecord& r : d.torrents) {
+    bytes += sizeof r + r.title.size() + r.username.size() + r.textbox.size();
+    for (const std::string& f : r.payload_filenames) bytes += sizeof f + f.size();
+  }
+  for (const auto& ips : d.downloaders) bytes += sizeof ips + 4 * ips.size();
+  for (const auto& s : d.publisher_sightings) bytes += sizeof s + 8 * s.size();
+  for (const auto& [name, page] : d.user_pages) {
+    bytes += 2 * name.size() + sizeof page + 8 * page.publish_times.size();
+  }
+  return bytes;
+}
+
+/// Runs `body` in a forked child (honest per-phase RSS), ships SnapResult
+/// back over a pipe.
+SnapResult run_snap_forked(const char* phase,
+                           const std::function<SnapResult()>& body) {
+  int fd[2];
+  if (pipe(fd) != 0) {
+    std::perror("build_perf: pipe");
+    std::exit(2);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("build_perf: fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    close(fd[0]);
+    const SnapResult result = body();
+    ssize_t wrote = write(fd[1], &result, sizeof result);
+    _exit(wrote == static_cast<ssize_t>(sizeof result) ? 0 : 3);
+  }
+  close(fd[1]);
+  SnapResult result;
+  const ssize_t got = read(fd[0], &result, sizeof result);
+  close(fd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof result) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "build_perf: snapshot phase %s failed\n", phase);
+    std::exit(2);
+  }
+  return result;
+}
+
+struct SnapRow {
+  std::string phase;
+  std::uint64_t sessions_target = 0;
+  SnapResult r;
+  std::uint64_t file_bytes = 0;  // on-disk size, filled by the parent
+};
+
+/// One world's worth of phases. The stream and mmap cache files persist
+/// between phases (written by the save phases, read by the load phases).
+void run_snapshot_world(std::uint64_t sessions, const Options& opt,
+                        std::vector<SnapRow>& rows) {
+  namespace fs = std::filesystem;
+  char name[64];
+  std::snprintf(name, sizeof name, "btpub_snapshot_%llu.ds",
+                static_cast<unsigned long long>(sessions));
+  const std::string stream_path = (fs::path(opt.dir) / name).string();
+  const std::string mmap_path = mmap_sibling_path(stream_path);
+  const std::uint64_t seed = opt.seed;
+
+  auto timed = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  auto finish = [](SnapResult& r, const Dataset& d) {
+    r.torrents = d.torrents.size();
+    r.sessions = dataset_sessions(d);
+    r.peak_rss_kb = peak_rss_kb_self();
+  };
+  auto push = [&](const char* phase, const std::function<SnapResult()>& body) {
+    std::fprintf(stderr, "build_perf: snapshot %s @%llu sessions...\n", phase,
+                 static_cast<unsigned long long>(sessions));
+    rows.push_back(SnapRow{phase, sessions, run_snap_forked(phase, body), 0});
+  };
+
+  push("dataset_build", [&] {
+    SnapResult r;
+    Dataset d;
+    r.seconds = timed([&] { d = synth_dataset(sessions, seed); });
+    r.bytes = dataset_bytes_estimate(d);
+    r.distinct_ips = d.distinct_ips_global();
+    finish(r, d);
+    return r;
+  });
+  push("compact_build", [&] {
+    SnapResult r;
+    const Dataset d = synth_dataset(sessions, seed);
+    CompactDataset c;
+    r.seconds = timed([&] { c = compact_dataset(d); });
+    r.bytes = c.byte_size();
+    r.distinct_ips = c.view().distinct_ips_global();
+    finish(r, d);
+    return r;
+  });
+  push("save_stream", [&] {
+    SnapResult r;
+    const Dataset d = synth_dataset(sessions, seed);
+    r.seconds = timed([&] { save_dataset(d, stream_path); });
+    finish(r, d);
+    return r;
+  });
+  push("save_mmap", [&] {
+    SnapResult r;
+    const Dataset d = synth_dataset(sessions, seed);
+    const CompactDataset c = compact_dataset(d);
+    r.seconds = timed([&] { save_mmap_snapshot(c, mmap_path); });
+    r.bytes = c.byte_size();
+    finish(r, d);
+    return r;
+  });
+  // Load = time-to-ready (the stream format must parse every record; the
+  // snapshot is ready after open + O(sections) fixup). Query = time-to-
+  // answer for the distinct-downloader-IP count, paying the full data
+  // touch on both sides — for the snapshot that includes faulting every
+  // peer-blob page in, not just the mmap() syscall.
+  push("load_stream", [&] {
+    SnapResult r;
+    Dataset d;
+    r.seconds = timed([&] { d = load_dataset(stream_path); });
+    r.distinct_ips = d.distinct_ips_global();
+    finish(r, d);
+    return r;
+  });
+  push("load_mmap", [&] {
+    SnapResult r;
+    MappedDataset mapped = [&]() {
+      const auto t0 = std::chrono::steady_clock::now();
+      MappedDataset m(mmap_path);
+      const auto t1 = std::chrono::steady_clock::now();
+      r.seconds = std::chrono::duration<double>(t1 - t0).count();
+      return m;
+    }();
+    r.distinct_ips = mapped.view().distinct_ips_global();
+    r.torrents = mapped.view().torrent_count();
+    r.sessions = mapped.view().peer_blob.size() / 6;
+    r.bytes = mapped.mapped_bytes();
+    r.peak_rss_kb = peak_rss_kb_self();
+    return r;
+  });
+  push("query_stream", [&] {
+    SnapResult r;
+    Dataset d;
+    std::uint64_t distinct = 0;
+    r.seconds = timed([&] {
+      d = load_dataset(stream_path);
+      distinct = d.distinct_ips_global();
+    });
+    r.distinct_ips = distinct;
+    finish(r, d);
+    return r;
+  });
+  push("query_mmap", [&] {
+    SnapResult r;
+    std::uint64_t distinct = 0;
+    std::uint64_t torrents = 0, sessions = 0, bytes = 0;
+    r.seconds = timed([&] {
+      MappedDataset mapped(mmap_path);
+      distinct = mapped.view().distinct_ips_global();
+      torrents = mapped.view().torrent_count();
+      sessions = mapped.view().peer_blob.size() / 6;
+      bytes = mapped.mapped_bytes();
+    });
+    r.distinct_ips = distinct;
+    r.torrents = torrents;
+    r.sessions = sessions;
+    r.bytes = bytes;
+    r.peak_rss_kb = peak_rss_kb_self();
+    return r;
+  });
+  push("load_mmap_inflate", [&] {
+    SnapResult r;
+    Dataset d;
+    r.seconds = timed([&] { d = MappedDataset(mmap_path).to_dataset(); });
+    r.distinct_ips = d.distinct_ips_global();
+    finish(r, d);
+    return r;
+  });
+
+  // Attach on-disk sizes, then sanity-check every phase agrees on the
+  // distinct-IP count (a wrong snapshot must fail the bench, not publish
+  // fast-but-broken numbers).
+  std::uint64_t expected = 0;
+  for (SnapRow& row : rows) {
+    if (row.sessions_target != sessions) continue;
+    if (row.phase == "save_stream" || row.phase == "load_stream" ||
+        row.phase == "query_stream") {
+      row.file_bytes = fs::file_size(stream_path);
+    } else if (row.phase.rfind("save_mmap", 0) == 0 ||
+               row.phase.rfind("load_mmap", 0) == 0 ||
+               row.phase == "query_mmap") {
+      row.file_bytes = fs::file_size(mmap_path);
+    }
+    if (row.r.distinct_ips != 0) {
+      if (expected == 0) expected = row.r.distinct_ips;
+      if (row.r.distinct_ips != expected) {
+        std::fprintf(stderr,
+                     "build_perf: phase %s distinct_ips mismatch "
+                     "(%llu vs %llu)\n",
+                     row.phase.c_str(),
+                     static_cast<unsigned long long>(row.r.distinct_ips),
+                     static_cast<unsigned long long>(expected));
+        std::exit(2);
+      }
+    }
+  }
+  fs::remove(stream_path);
+  fs::remove(mmap_path);
+}
+
+void write_snapshot_json(const Options& opt, const std::vector<SnapRow>& rows) {
+  std::ofstream out(opt.json_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "build_perf: cannot open %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  auto find = [&](std::uint64_t sessions,
+                  std::string_view phase) -> const SnapRow* {
+    for (const SnapRow& row : rows) {
+      if (row.sessions_target == sessions && row.phase == phase) return &row;
+    }
+    return nullptr;
+  };
+  out << "{\n  \"benchmark\": \"dataset_snapshot\",\n";
+  out << "  \"config\": {\"seed\": " << opt.seed << ", \"format_version\": "
+      << mmap_format_version() << "},\n";
+  char line[512];
+  out << "  \"headline\": [\n";
+  for (std::size_t i = 0; i < opt.sessions.size(); ++i) {
+    const std::uint64_t n = opt.sessions[i];
+    const SnapRow* stream = find(n, "load_stream");
+    const SnapRow* mapped = find(n, "load_mmap");
+    const SnapRow* qstream = find(n, "query_stream");
+    const SnapRow* qmapped = find(n, "query_mmap");
+    const SnapRow* build = find(n, "dataset_build");
+    std::snprintf(
+        line, sizeof line,
+        "    {\"sessions\": %llu, \"mmap_load_speedup_vs_stream\": %.2f, "
+        "\"mmap_query_speedup_vs_stream\": %.2f, "
+        "\"mmap_query_rss_kb\": %ld, \"dataset_build_rss_kb\": %ld}%s\n",
+        static_cast<unsigned long long>(n),
+        stream->r.seconds / mapped->r.seconds,
+        qstream->r.seconds / qmapped->r.seconds, qmapped->r.peak_rss_kb,
+        build->r.peak_rss_kb, i + 1 < opt.sessions.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SnapRow& row = rows[i];
+    std::snprintf(
+        line, sizeof line,
+        "    {\"phase\": \"%s\", \"sessions\": %llu, \"seconds\": %.6f, "
+        "\"peak_rss_kb\": %ld, \"torrents\": %llu, \"bytes\": %llu, "
+        "\"file_bytes\": %llu, \"distinct_ips\": %llu}%s\n",
+        row.phase.c_str(), static_cast<unsigned long long>(row.r.sessions),
+        row.r.seconds, row.r.peak_rss_kb,
+        static_cast<unsigned long long>(row.r.torrents),
+        static_cast<unsigned long long>(row.r.bytes),
+        static_cast<unsigned long long>(row.file_bytes),
+        static_cast<unsigned long long>(row.r.distinct_ips),
+        i + 1 < rows.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+int run_snapshot(const Options& opt) {
+  std::vector<SnapRow> rows;
+  for (const std::uint64_t sessions : opt.sessions) {
+    run_snapshot_world(sessions, opt, rows);
+  }
+  write_snapshot_json(opt, rows);
+  for (const std::uint64_t n : opt.sessions) {
+    const SnapRow* stream = nullptr;
+    const SnapRow* mapped = nullptr;
+    const SnapRow* qstream = nullptr;
+    const SnapRow* qmapped = nullptr;
+    for (const SnapRow& row : rows) {
+      if (row.sessions_target != n) continue;
+      if (row.phase == "load_stream") stream = &row;
+      if (row.phase == "load_mmap") mapped = &row;
+      if (row.phase == "query_stream") qstream = &row;
+      if (row.phase == "query_mmap") qmapped = &row;
+    }
+    std::printf(
+        "%llu sessions: load %.4fs stream vs %.4fs mmap (%.0fx); "
+        "distinct-IP query %.3fs vs %.3fs (%.1fx), query RSS %ld KB\n",
+        static_cast<unsigned long long>(n), stream->r.seconds,
+        mapped->r.seconds, stream->r.seconds / mapped->r.seconds,
+        qstream->r.seconds, qmapped->r.seconds,
+        qstream->r.seconds / qmapped->r.seconds, qmapped->r.peak_rss_kb);
+  }
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}
+
 void write_json(const Options& opt, const ScenarioConfig& config,
                 const std::vector<Row>& rows, double speedup) {
   std::ofstream out(opt.json_path, std::ios::trunc);
@@ -217,13 +653,39 @@ int run(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--quick") {
       opt.quick = true;
+    } else if (arg == "--snapshot") {
+      opt.snapshot = true;
+    } else if (arg == "--dir") {
+      opt.dir = next();
+    } else if (arg == "--sessions") {
+      opt.sessions.clear();
+      const char* p = next();
+      while (*p != '\0') {
+        char* end = nullptr;
+        const std::uint64_t n = std::strtoull(p, &end, 10);
+        if (end == p || n == 0) {
+          std::fprintf(stderr, "build_perf: bad --sessions list\n");
+          return 2;
+        }
+        opt.sessions.push_back(n);
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (opt.sessions.empty()) {
+        std::fprintf(stderr, "build_perf: --sessions needs at least one count\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: build_perf [--json PATH] [--threads N] "
-                   "[--scenario NAME] [--seed N] [--quick]\n");
+                   "[--scenario NAME] [--seed N] [--quick] "
+                   "[--snapshot] [--sessions N[,N...]] [--dir PATH]\n");
       return 2;
     }
   }
+  if (opt.json_path.empty()) {
+    opt.json_path = opt.snapshot ? "BENCH_snapshot.json" : "BENCH_build.json";
+  }
+  if (opt.snapshot) return run_snapshot(opt);
   if (opt.threads < 2) opt.threads = 2;
 
   std::vector<Row> rows;

@@ -24,8 +24,17 @@ std::string_view to_string(TargetGroup g) {
 IdentityAnalysis::IdentityAnalysis(const Dataset& dataset, const GeoDb& geo,
                                    std::size_t top_n,
                                    FakeDetectionConfig fake_config)
-    : dataset_(&dataset), geo_(&geo), top_n_(top_n) {
+    : geo_(&geo), top_n_(top_n) {
   build_tables(dataset);
+  detect_fakes(fake_config);
+  build_top(geo, top_n);
+}
+
+IdentityAnalysis::IdentityAnalysis(const CompactDatasetView& view,
+                                   const GeoDb& geo, std::size_t top_n,
+                                   FakeDetectionConfig fake_config)
+    : geo_(&geo), top_n_(top_n) {
+  build_tables(view);
   detect_fakes(fake_config);
   build_top(geo, top_n);
 }
@@ -96,6 +105,80 @@ void IdentityAnalysis::build_tables(const Dataset& dataset) {
   std::sort(usernames_.begin(), usernames_.end(), by_content_desc);
   std::sort(ips_.begin(), ips_.end(), by_content_desc);
   // Re-key after the sort.
+  username_index_.clear();
+  for (std::size_t i = 0; i < usernames_.size(); ++i) {
+    username_index_.emplace(usernames_[i].username, i);
+  }
+}
+
+void IdentityAnalysis::build_tables(const CompactDatasetView& view) {
+  // Mirrors the Dataset overload row for row so both paths produce
+  // identical tables; downloader counts come from the per-torrent spans
+  // ([begin, end) over the peer blob) without touching the entries.
+  std::unordered_map<IpAddress, std::size_t> ip_index;
+  std::unordered_map<IpAddress, std::unordered_set<std::string>> ip_users;
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>> user_ips;
+
+  for (std::size_t i = 0; i < view.torrents.size(); ++i) {
+    const TorrentRecordPod& pod = view.torrents[i];
+    const std::string_view username = view.username(pod);
+    const bool has_ip = (pod.flags & TorrentRecordPod::kHasPublisherIp) != 0;
+    const std::size_t downloads = pod.downloaders.size();
+    ++total_content_;
+    total_downloads_ += downloads;
+
+    if (!username.empty()) {
+      auto [it, inserted] =
+          username_index_.try_emplace(std::string(username), usernames_.size());
+      if (inserted) {
+        UsernameStats stats;
+        stats.username = std::string(username);
+        const UserPagePod* page = view.find_user(username);
+        stats.banned = page != nullptr && (page->flags & UserPagePod::kBanned) != 0;
+        usernames_.push_back(std::move(stats));
+      }
+      UsernameStats& stats = usernames_[it->second];
+      stats.torrents.push_back(i);
+      ++stats.content_count;
+      stats.download_count += downloads;
+      if (has_ip && user_ips[stats.username].insert(pod.publisher_ip).second) {
+        stats.ips.emplace_back(pod.publisher_ip);
+      }
+    }
+
+    if (has_ip) {
+      const IpAddress ip(pod.publisher_ip);
+      auto [it, inserted] = ip_index.try_emplace(ip, ips_.size());
+      if (inserted) {
+        IpStats stats;
+        stats.ip = ip;
+        ips_.push_back(std::move(stats));
+      }
+      IpStats& stats = ips_[it->second];
+      stats.torrents.push_back(i);
+      ++stats.content_count;
+      if (!username.empty() &&
+          ip_users[ip].insert(std::string(username)).second) {
+        stats.usernames.emplace_back(username);
+      }
+    }
+  }
+
+  for (IpStats& stats : ips_) {
+    for (const std::string& name : stats.usernames) {
+      const auto it = username_index_.find(name);
+      if (it != username_index_.end() && usernames_[it->second].banned) {
+        ++stats.banned_usernames;
+      }
+    }
+  }
+
+  auto by_content_desc = [](const auto& a, const auto& b) {
+    if (a.content_count != b.content_count) return a.content_count > b.content_count;
+    return a.torrents.front() < b.torrents.front();
+  };
+  std::sort(usernames_.begin(), usernames_.end(), by_content_desc);
+  std::sort(ips_.begin(), ips_.end(), by_content_desc);
   username_index_.clear();
   for (std::size_t i = 0; i < usernames_.size(); ++i) {
     username_index_.emplace(usernames_[i].username, i);

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "crawler/compact_dataset.hpp"
 #include "crawler/dataset.hpp"
 #include "geo/geo_db.hpp"
 
@@ -55,6 +56,14 @@ class IdentityAnalysis {
  public:
   /// `top_n` is the size of the "top publishers" cut (the paper's 100).
   IdentityAnalysis(const Dataset& dataset, const GeoDb& geo,
+                   std::size_t top_n = 100,
+                   FakeDetectionConfig fake_config = {});
+
+  /// Span-native overload: reads the struct-of-arrays view (in-memory or
+  /// mmap-ed) directly — per-torrent downloader counts and publisher IPs
+  /// come straight from the flat spans, with no Dataset inflation. The
+  /// view only needs to outlive the constructor.
+  IdentityAnalysis(const CompactDatasetView& view, const GeoDb& geo,
                    std::size_t top_n = 100,
                    FakeDetectionConfig fake_config = {});
 
@@ -107,10 +116,10 @@ class IdentityAnalysis {
 
  private:
   void build_tables(const Dataset& dataset);
+  void build_tables(const CompactDatasetView& view);
   void detect_fakes(const FakeDetectionConfig& config);
   void build_top(const GeoDb& geo, std::size_t top_n);
 
-  const Dataset* dataset_;
   const GeoDb* geo_;
   std::vector<UsernameStats> usernames_;
   std::unordered_map<std::string, std::size_t> username_index_;

@@ -1,0 +1,330 @@
+#include "crawler/compact_dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "net/compact.hpp"
+
+namespace btpub {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::runtime_error(std::string("compact_dataset: corrupt view: ") + what);
+}
+
+std::string_view checked_str(const CompactDatasetView& view, StrRef ref,
+                             const char* what) {
+  if (std::uint64_t{ref.offset} + ref.length > view.text.size()) corrupt(what);
+  return view.str(ref);
+}
+
+void check_span(Span32 span, std::size_t limit, const char* what) {
+  if (span.begin > span.end || span.end > limit) corrupt(what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- view --
+
+const UserPagePod* CompactDatasetView::find_user(std::string_view username) const
+    noexcept {
+  const auto it = std::partition_point(
+      user_pages.begin(), user_pages.end(),
+      [&](const UserPagePod& p) { return str(p.username) < username; });
+  if (it == user_pages.end() || str(it->username) != username) return nullptr;
+  return &*it;
+}
+
+std::size_t CompactDatasetView::with_username() const noexcept {
+  std::size_t n = 0;
+  for (const TorrentRecordPod& r : torrents) n += r.username.length > 0;
+  return n;
+}
+
+std::size_t CompactDatasetView::with_publisher_ip() const noexcept {
+  std::size_t n = 0;
+  for (const TorrentRecordPod& r : torrents) {
+    n += (r.flags & TorrentRecordPod::kHasPublisherIp) != 0;
+  }
+  return n;
+}
+
+std::size_t CompactDatasetView::distinct_ips_global() const {
+  std::unordered_set<IpAddress> ips;
+  for (const TorrentRecordPod& r : torrents) {
+    for (std::uint32_t i = 0; i < r.downloaders.size(); ++i) {
+      ips.insert(downloader_ip(r, i));
+    }
+  }
+  return ips.size();
+}
+
+std::size_t CompactDatasetView::ip_observations_total() const noexcept {
+  std::size_t n = 0;
+  for (const TorrentRecordPod& r : torrents) n += r.downloaders.size();
+  return n;
+}
+
+CompactDatasetView CompactDataset::view() const& noexcept {
+  CompactDatasetView v;
+  v.name = name;
+  v.style = style;
+  v.window_start = window_start;
+  v.window_end = window_end;
+  v.torrents = torrents;
+  v.text = std::string_view(text.data(), text.size());
+  v.filename_refs = filename_refs;
+  v.peer_blob = std::string_view(peer_blob.data(), peer_blob.size());
+  v.sightings = sightings;
+  v.user_pages = user_pages;
+  v.user_publish_times = user_publish_times;
+  return v;
+}
+
+std::size_t CompactDataset::byte_size() const noexcept {
+  return name.size() + torrents.size() * sizeof(TorrentRecordPod) + text.size() +
+         filename_refs.size() * sizeof(StrRef) + peer_blob.size() +
+         sightings.size() * sizeof(SimTime) +
+         user_pages.size() * sizeof(UserPagePod) +
+         user_publish_times.size() * sizeof(SimTime);
+}
+
+// ------------------------------------------------------------- builder --
+
+CompactDatasetBuilder::CompactDatasetBuilder() { rehash_interns(1024); }
+
+void CompactDatasetBuilder::rehash_interns(std::size_t capacity) {
+  std::vector<std::pair<std::uint64_t, StrRef>> old = std::move(intern_index_);
+  intern_index_.assign(capacity, {0, StrRef{}});
+  intern_mask_ = capacity - 1;
+  for (const auto& [hash, ref] : old) {
+    if (ref.length == 0) continue;
+    std::size_t i = static_cast<std::size_t>(hash) & intern_mask_;
+    while (intern_index_[i].second.length != 0) i = (i + 1) & intern_mask_;
+    intern_index_[i] = {hash, ref};
+  }
+}
+
+StrRef CompactDatasetBuilder::intern(std::string_view s) {
+  if (s.empty()) return StrRef{};
+  if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("compact_dataset: string too large to intern");
+  }
+  if ((interned_ + 1) * 4 > (intern_mask_ + 1) * 3) {
+    rehash_interns((intern_mask_ + 1) * 2);
+  }
+  const std::uint64_t hash = fnv1a(s);
+  std::size_t i = static_cast<std::size_t>(hash) & intern_mask_;
+  for (;;) {
+    auto& slot = intern_index_[i];
+    if (slot.second.length == 0) break;  // free slot: new string
+    if (slot.first == hash) {
+      const std::string_view held(out_.text.data() + slot.second.offset,
+                                  slot.second.length);
+      if (held == s) return slot.second;
+    }
+    i = (i + 1) & intern_mask_;
+  }
+  if (out_.text.size() + s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("compact_dataset: text arena exceeds 4 GiB");
+  }
+  const StrRef ref{static_cast<std::uint32_t>(out_.text.size()),
+                   static_cast<std::uint32_t>(s.size())};
+  out_.text.insert(out_.text.end(), s.begin(), s.end());
+  intern_index_[i] = {hash, ref};
+  ++interned_;
+  return ref;
+}
+
+void CompactDatasetBuilder::set_header(std::string name, DatasetStyle style,
+                                       SimTime window_start, SimTime window_end) {
+  out_.name = std::move(name);
+  out_.style = style;
+  out_.window_start = window_start;
+  out_.window_end = window_end;
+}
+
+void CompactDatasetBuilder::add_torrent(const TorrentRecord& record,
+                                        std::span<const IpAddress> downloaders,
+                                        std::span<const SimTime> sightings) {
+  TorrentRecordPod pod;
+  pod.size_bytes = record.size_bytes;
+  pod.published_at = record.published_at;
+  pod.first_seen = record.first_seen;
+  pod.observed_removed_at = record.observed_removed_at;
+  pod.piece_count = record.piece_count;
+  pod.title = intern(record.title);
+  pod.username = intern(record.username);
+  pod.textbox = intern(record.textbox);
+  pod.portal_id = record.portal_id;
+  pod.initial_seeders = record.initial_seeders;
+  pod.initial_peers = record.initial_peers;
+  pod.query_count = record.query_count;
+  pod.max_concurrent = record.max_concurrent;
+  pod.infohash = record.infohash.bytes;
+  pod.category = static_cast<std::uint8_t>(record.category);
+  pod.language = static_cast<std::uint8_t>(record.language);
+  if (record.publisher_ip) {
+    pod.flags |= TorrentRecordPod::kHasPublisherIp;
+    pod.publisher_ip = record.publisher_ip->value();
+  }
+  if (record.observed_removed) pod.flags |= TorrentRecordPod::kObservedRemoved;
+
+  pod.payload_filenames.begin = static_cast<std::uint32_t>(out_.filename_refs.size());
+  for (const std::string& f : record.payload_filenames) {
+    out_.filename_refs.push_back(intern(f));
+  }
+  pod.payload_filenames.end = static_cast<std::uint32_t>(out_.filename_refs.size());
+
+  pod.downloaders.begin = static_cast<std::uint32_t>(out_.peer_blob.size() / 6);
+  // 6-byte BEP-23 entries (net/compact layout); the dataset records
+  // addresses only, so the port half is zero.
+  std::string entry;
+  for (const IpAddress& ip : downloaders) {
+    entry.clear();
+    append_compact_peer(entry, Endpoint{ip, 0});
+    out_.peer_blob.insert(out_.peer_blob.end(), entry.begin(), entry.end());
+  }
+  pod.downloaders.end = static_cast<std::uint32_t>(out_.peer_blob.size() / 6);
+
+  pod.sightings.begin = static_cast<std::uint32_t>(out_.sightings.size());
+  out_.sightings.insert(out_.sightings.end(), sightings.begin(), sightings.end());
+  pod.sightings.end = static_cast<std::uint32_t>(out_.sightings.size());
+
+  out_.torrents.push_back(pod);
+}
+
+void CompactDatasetBuilder::add_user_page(const UserPage& page) {
+  UserPagePod pod;
+  pod.username = intern(page.username);
+  if (page.banned) pod.flags |= UserPagePod::kBanned;
+  pod.publish_times.begin = static_cast<std::uint32_t>(out_.user_publish_times.size());
+  out_.user_publish_times.insert(out_.user_publish_times.end(),
+                                 page.publish_times.begin(),
+                                 page.publish_times.end());
+  pod.publish_times.end = static_cast<std::uint32_t>(out_.user_publish_times.size());
+  out_.user_pages.push_back(pod);
+}
+
+CompactDataset CompactDatasetBuilder::finish() {
+  // Sorted pages make find_user a binary search and the layout independent
+  // of insertion order (the determinism requirement the stream serializer
+  // already honours for Dataset::user_pages).
+  const std::vector<char>& text = out_.text;
+  std::sort(out_.user_pages.begin(), out_.user_pages.end(),
+            [&text](const UserPagePod& a, const UserPagePod& b) {
+              return std::string_view(text.data() + a.username.offset,
+                                      a.username.length) <
+                     std::string_view(text.data() + b.username.offset,
+                                      b.username.length);
+            });
+  CompactDataset done = std::move(out_);
+  out_ = CompactDataset{};
+  // Discard (don't rehash) the intern index: its refs point into the text
+  // arena that was just moved out, and reinserting more entries than the
+  // fresh table holds would never find a free slot.
+  intern_index_.assign(1024, {0, StrRef{}});
+  intern_mask_ = 1023;
+  interned_ = 0;
+  return done;
+}
+
+// --------------------------------------------------------- conversions --
+
+CompactDataset compact_dataset(const Dataset& dataset) {
+  CompactDatasetBuilder builder;
+  builder.set_header(dataset.name, dataset.style, dataset.window_start,
+                     dataset.window_end);
+  for (std::size_t i = 0; i < dataset.torrents.size(); ++i) {
+    builder.add_torrent(dataset.torrents[i], dataset.downloaders[i],
+                        dataset.publisher_sightings[i]);
+  }
+  for (const auto& [name, page] : dataset.user_pages) {
+    builder.add_user_page(page);
+  }
+  return builder.finish();
+}
+
+Dataset inflate(const CompactDatasetView& view) {
+  Dataset dataset;
+  dataset.name = std::string(view.name);
+  dataset.style = view.style;
+  dataset.window_start = view.window_start;
+  dataset.window_end = view.window_end;
+
+  const std::size_t n = view.torrents.size();
+  dataset.torrents.reserve(n);
+  dataset.downloaders.reserve(n);
+  dataset.publisher_sightings.reserve(n);
+  const std::size_t peer_entries = view.peer_blob.size() / 6;
+  for (const TorrentRecordPod& pod : view.torrents) {
+    TorrentRecord r;
+    r.portal_id = pod.portal_id;
+    r.infohash.bytes = pod.infohash;
+    r.title = std::string(checked_str(view, pod.title, "title ref"));
+    r.category = static_cast<ContentCategory>(pod.category);
+    r.language = static_cast<Language>(pod.language);
+    r.size_bytes = pod.size_bytes;
+    r.username = std::string(checked_str(view, pod.username, "username ref"));
+    if (pod.flags & TorrentRecordPod::kHasPublisherIp) {
+      r.publisher_ip = IpAddress(pod.publisher_ip);
+    }
+    r.published_at = pod.published_at;
+    r.first_seen = pod.first_seen;
+    r.textbox = std::string(checked_str(view, pod.textbox, "textbox ref"));
+    check_span(pod.payload_filenames, view.filename_refs.size(), "filename span");
+    r.payload_filenames.reserve(pod.payload_filenames.size());
+    for (const StrRef ref : view.filenames_of(pod)) {
+      r.payload_filenames.emplace_back(checked_str(view, ref, "filename ref"));
+    }
+    r.piece_count = static_cast<std::size_t>(pod.piece_count);
+    r.observed_removed = (pod.flags & TorrentRecordPod::kObservedRemoved) != 0;
+    r.observed_removed_at = pod.observed_removed_at;
+    r.initial_seeders = pod.initial_seeders;
+    r.initial_peers = pod.initial_peers;
+    r.query_count = pod.query_count;
+    r.max_concurrent = pod.max_concurrent;
+    dataset.torrents.push_back(std::move(r));
+
+    check_span(pod.downloaders, peer_entries, "downloader span");
+    std::vector<IpAddress> ips;
+    ips.reserve(pod.downloaders.size());
+    for (std::uint32_t i = 0; i < pod.downloaders.size(); ++i) {
+      ips.push_back(view.downloader_ip(pod, i));
+    }
+    dataset.downloaders.push_back(std::move(ips));
+
+    check_span(pod.sightings, view.sightings.size(), "sighting span");
+    const auto sightings = view.sightings_of(pod);
+    dataset.publisher_sightings.emplace_back(sightings.begin(), sightings.end());
+  }
+
+  dataset.user_pages.reserve(view.user_pages.size());
+  for (const UserPagePod& pod : view.user_pages) {
+    UserPage page;
+    page.username = std::string(checked_str(view, pod.username, "user-page name"));
+    page.banned = (pod.flags & UserPagePod::kBanned) != 0;
+    check_span(pod.publish_times, view.user_publish_times.size(),
+               "publish-times span");
+    const auto times =
+        view.user_publish_times.subspan(pod.publish_times.begin,
+                                        pod.publish_times.size());
+    page.publish_times.assign(times.begin(), times.end());
+    dataset.user_pages.emplace(page.username, std::move(page));
+  }
+  return dataset;
+}
+
+}  // namespace btpub

@@ -1,12 +1,16 @@
 #include "crawler/dataset_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <stdexcept>
+
+#include "crawler/dataset_mmap.hpp"
 
 namespace btpub {
 namespace {
@@ -209,6 +213,16 @@ int dataset_format_version() noexcept { return kFormatVersion; }
 
 Dataset load_or_generate(const std::string& path,
                          const std::function<Dataset()>& generate) {
+  // Prefer the mmap snapshot: no per-record parsing, and inflation is a
+  // bulk copy out of the mapping.
+  const std::string snapshot = mmap_sibling_path(path);
+  if (std::filesystem::exists(snapshot)) {
+    try {
+      return MappedDataset(snapshot).to_dataset();
+    } catch (const std::exception&) {
+      // Stale or corrupt snapshot: fall through to the stream file.
+    }
+  }
   if (std::filesystem::exists(path)) {
     try {
       return load_dataset(path);
@@ -217,12 +231,28 @@ Dataset load_or_generate(const std::string& path,
     }
   }
   Dataset dataset = generate();
+  // Caching is best effort — the dataset is returned either way — but a
+  // silent failure makes every run a cold cache, so say why it failed.
+  auto warn = [](const char* what, const std::string& p,
+                 const std::exception& e, int err) {
+    std::fprintf(stderr,
+                 "[btpub] warning: could not cache %s to %s: %s (errno %d: %s)\n",
+                 what, p.c_str(), e.what(), err,
+                 err != 0 ? std::strerror(err) : "-");
+  };
   try {
     const auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty()) std::filesystem::create_directories(parent);
+    errno = 0;
     save_dataset(dataset, path);
-  } catch (const std::exception&) {
-    // Caching is best effort; the dataset itself is still returned.
+  } catch (const std::exception& e) {
+    warn("dataset", path, e, errno);
+  }
+  try {
+    errno = 0;
+    save_mmap_snapshot(dataset, snapshot);
+  } catch (const std::exception& e) {
+    warn("mmap snapshot", snapshot, e, errno);
   }
   return dataset;
 }

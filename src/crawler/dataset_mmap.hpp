@@ -1,0 +1,92 @@
+// dataset_mmap.hpp — versioned zero-copy snapshot format for datasets.
+//
+// The stream format (dataset_io.hpp) re-parses every record on load:
+// millions of length-prefixed reads and one heap allocation per string /
+// vector. This file defines the mmap-native alternative: the seven flat
+// CompactDataset arrays written verbatim into a sectioned little-endian
+// file, each section 64-byte aligned, fronted by a header (magic + format
+// version + section table). Loading is open + mmap + O(sections) pointer
+// fixup — no per-record work at all; the OS pages data in lazily as the
+// analysis touches it.
+//
+// Layout (all integers little-endian):
+//
+//   [0, 64)    FileHeader   magic "BTPUBMAP", version, section count,
+//                           total file bytes
+//   [64, ...)  section table: {id, reserved, offset, size} x count
+//   ...        sections, each starting on a 64-byte boundary:
+//                Meta         style/window/name header fields
+//                TorrentPods  TorrentRecordPod[]   (fixed 136-byte rows)
+//                Text         interned string arena
+//                FilenameRefs StrRef[]
+//                PeerBlob     6-byte compact peer entries
+//                Sightings    SimTime[]
+//                UserPods     UserPagePod[]        (sorted by username)
+//                UserTimes    SimTime[]
+//
+// The 64-byte section alignment over-satisfies every element type's
+// natural alignment (max 8) and keeps rows cacheline-aligned, so the
+// mapped arrays can be reinterpreted in place on any little-endian host.
+//
+// Validation on load is O(1) in the dataset size: magic/version/section
+// bounds/alignment/divisibility. Per-record references are validated by
+// the consumers that walk them (inflate() bounds-checks everything), so a
+// zero-copy open stays zero-copy.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "crawler/compact_dataset.hpp"
+
+namespace btpub {
+
+/// On-disk format version; bump on any layout change. Distinct from the
+/// stream format's version (the two formats evolve independently).
+int mmap_format_version() noexcept;
+
+/// Conventional sibling path for a stream-format cache file: the snapshot
+/// `load_or_generate` prefers ("<path>.mmap").
+std::string mmap_sibling_path(const std::string& path);
+
+/// Writes the snapshot. The ostream overload exists for deterministic
+/// byte-level tests; the file overload is the normal path. Throws
+/// std::runtime_error on I/O failure.
+void save_mmap_snapshot(const CompactDataset& dataset, std::ostream& out);
+void save_mmap_snapshot(const CompactDataset& dataset, const std::string& path);
+/// Convenience: compacts then writes.
+void save_mmap_snapshot(const Dataset& dataset, const std::string& path);
+
+/// A loaded snapshot: the file stays mapped for the object's lifetime and
+/// view() exposes the arrays in place. Move-only.
+class MappedDataset {
+ public:
+  /// Opens, maps and validates. Throws std::runtime_error with a specific
+  /// message on missing/truncated/corrupt/version-mismatched files.
+  explicit MappedDataset(const std::string& path);
+  ~MappedDataset();
+
+  MappedDataset(MappedDataset&& other) noexcept;
+  MappedDataset& operator=(MappedDataset&& other) noexcept;
+  MappedDataset(const MappedDataset&) = delete;
+  MappedDataset& operator=(const MappedDataset&) = delete;
+
+  /// Zero-copy view into the mapping; valid while this object lives.
+  const CompactDatasetView& view() const noexcept { return view_; }
+
+  /// Inflates to the pointer-heavy Dataset (compatibility path). Deep-
+  /// validates every record reference; throws on corruption.
+  Dataset to_dataset() const { return inflate(view_); }
+
+  std::size_t mapped_bytes() const noexcept { return size_; }
+
+ private:
+  void validate_and_fixup(const std::string& path);
+
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  CompactDatasetView view_;
+};
+
+}  // namespace btpub

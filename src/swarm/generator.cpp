@@ -42,6 +42,9 @@ std::size_t SwarmGenerator::generate(Swarm& swarm, const SwarmSpec& spec,
   const double mean_arrivals = truncated_mean(spec);
   const std::size_t n = sample_poisson(mean_arrivals, rng);
   if (n == 0) return 0;
+  // One staging allocation for the whole swarm (+ a little headroom for the
+  // publisher's seed sessions and any decoys added after us).
+  swarm.reserve_sessions(swarm.sessions().size() + n + 8);
 
   const double T = static_cast<double>(spec.arrivals_end - spec.birth);
   const double tau = static_cast<double>(std::max<SimDuration>(spec.decay_tau, 1));

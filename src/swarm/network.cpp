@@ -10,17 +10,15 @@ void SwarmNetwork::register_swarm(Swarm& swarm) {
   if (!swarm.finalized()) {
     throw std::logic_error("SwarmNetwork: swarm must be finalized");
   }
-  swarms_[swarm.infohash()] = &swarm;
+  swarms_.insert(swarm.infohash(), &swarm);
 }
 
 Swarm* SwarmNetwork::find(const Sha1Digest& infohash) {
-  const auto it = swarms_.find(infohash);
-  return it == swarms_.end() ? nullptr : it->second;
+  return swarms_.find(infohash);
 }
 
 const Swarm* SwarmNetwork::find(const Sha1Digest& infohash) const {
-  const auto it = swarms_.find(infohash);
-  return it == swarms_.end() ? nullptr : it->second;
+  return swarms_.find(infohash);
 }
 
 std::optional<SwarmNetwork::ProbeResult> SwarmNetwork::probe(

@@ -7,10 +7,10 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "crypto/sha1.hpp"
 #include "swarm/swarm.hpp"
+#include "swarm/swarm_map.hpp"
 
 namespace btpub {
 
@@ -43,7 +43,7 @@ class SwarmNetwork {
                                    const Endpoint& endpoint, SimTime t);
 
  private:
-  std::unordered_map<Sha1Digest, Swarm*> swarms_;
+  ShardedSwarmMap<Swarm> swarms_;
 };
 
 }  // namespace btpub

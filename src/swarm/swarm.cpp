@@ -10,8 +10,7 @@ namespace btpub {
 
 namespace {
 
-std::size_t count_distinct_downloader_ips(
-    const std::vector<PeerSession>& sessions) {
+std::size_t count_distinct_downloader_ips(std::span<const PeerSession> sessions) {
   std::unordered_set<IpAddress> ips;
   for (const PeerSession& s : sessions) {
     if (!s.is_publisher && !s.spoofed) ips.insert(s.endpoint.ip);
@@ -27,28 +26,56 @@ Swarm::Swarm(Sha1Digest infohash, std::size_t n_pieces, SimTime birth)
 void Swarm::add_session(PeerSession session) {
   if (finalized_) throw std::logic_error("Swarm: add_session after finalize");
   if (session.depart <= session.arrive) return;  // degenerate, drop
-  sessions_.push_back(session);
+  staging_.push_back(session);
 }
 
 void Swarm::finalize() {
   if (finalized_) return;
   finalized_ = true;
-  events_.reserve(sessions_.size() * 2);
-  for (std::uint32_t i = 0; i < sessions_.size(); ++i) {
-    const PeerSession& s = sessions_[i];
-    events_.push_back(Event{s.arrive, EventKind::Arrive, i});
-    if (s.complete_at > s.arrive && s.complete_at < s.depart) {
-      events_.push_back(Event{s.complete_at, EventKind::Complete, i});
-    }
-    events_.push_back(Event{s.depart, EventKind::Depart, i});
-    last_departure_ = std::max(last_departure_, s.depart);
-    by_endpoint_[s.endpoint].push_back(i);
+
+  const auto n = static_cast<std::uint32_t>(staging_.size());
+  PeerSession* sessions = arena_.copy_array(staging_.data(), staging_.size());
+  sessions_ = {sessions, n};
+  staging_ = {};  // release the growth buffer; the arena copy is canonical
+
+  // Sweep events: 2 per session plus a Complete when it falls strictly
+  // inside the session. Sized exactly, so one arena bump covers it.
+  std::size_t n_events = 0;
+  for (const PeerSession& s : sessions_) {
+    n_events += 2 + (s.complete_at > s.arrive && s.complete_at < s.depart);
   }
-  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+  Event* events = arena_.alloc_array<Event>(n_events);
+  std::size_t e = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PeerSession& s = sessions_[i];
+    events[e++] = Event{s.arrive, EventKind::Arrive, i};
+    if (s.complete_at > s.arrive && s.complete_at < s.depart) {
+      events[e++] = Event{s.complete_at, EventKind::Complete, i};
+    }
+    events[e++] = Event{s.depart, EventKind::Depart, i};
+    last_departure_ = std::max(last_departure_, s.depart);
+  }
+  std::sort(events, events + n_events, [](const Event& a, const Event& b) {
     if (a.at != b.at) return a.at < b.at;
     if (a.kind != b.kind) return a.kind < b.kind;
     return a.session < b.session;
   });
+  events_ = {events, n_events};
+
+  // Endpoint index: session indices ordered by (endpoint, insertion index).
+  // find_peer binary-searches it; equal endpoints keep insertion order, so
+  // the first matching present session wins exactly as the old per-endpoint
+  // hash-map chains did.
+  std::uint32_t* index = arena_.alloc_array<std::uint32_t>(n);
+  for (std::uint32_t i = 0; i < n; ++i) index[i] = i;
+  std::sort(index, index + n, [this](std::uint32_t a, std::uint32_t b) {
+    if (sessions_[a].endpoint != sessions_[b].endpoint) {
+      return sessions_[a].endpoint < sessions_[b].endpoint;
+    }
+    return a < b;
+  });
+  endpoint_index_ = {index, n};
+
   distinct_downloader_ips_ = count_distinct_downloader_ips(sessions_);
   rebuild_sweep();
 }
@@ -157,10 +184,13 @@ std::vector<const PeerSession*> Swarm::peers_at(SimTime t) {
 
 const PeerSession* Swarm::find_peer(const Endpoint& endpoint, SimTime t) {
   assert(finalized_);
-  const auto it = by_endpoint_.find(endpoint);
-  if (it == by_endpoint_.end()) return nullptr;
-  for (std::uint32_t idx : it->second) {
-    if (sessions_[idx].present_at(t)) return &sessions_[idx];
+  const auto begin = std::partition_point(
+      endpoint_index_.begin(), endpoint_index_.end(),
+      [&](std::uint32_t idx) { return sessions_[idx].endpoint < endpoint; });
+  for (auto it = begin; it != endpoint_index_.end(); ++it) {
+    const PeerSession& s = sessions_[*it];
+    if (s.endpoint != endpoint) break;
+    if (s.present_at(t)) return &s;
   }
   return nullptr;
 }
@@ -194,7 +224,7 @@ Bitfield Swarm::bitfield_at(const PeerSession& session, SimTime t) const {
 
 std::size_t Swarm::distinct_downloader_ips() const {
   if (finalized_) return distinct_downloader_ips_;
-  return count_distinct_downloader_ips(sessions_);
+  return count_distinct_downloader_ips(sessions());
 }
 
 }  // namespace btpub

@@ -12,13 +12,14 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/sha1.hpp"
 #include "net/ip.hpp"
 #include "torrent/bitfield.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -64,12 +65,23 @@ class Swarm {
   /// Adds a session; only valid before finalize().
   void add_session(PeerSession session);
 
-  /// Sorts the event list; must be called once before any query.
+  /// Pre-sizes the staging buffer; the generator knows its arrival count
+  /// up front, so session ingestion is a single allocation.
+  void reserve_sessions(std::size_t n) { staging_.reserve(n); }
+
+  /// Sorts the event list and compacts sessions, sweep events and the
+  /// endpoint index into the swarm's arena; must be called once before any
+  /// query. After finalize the growth staging buffer is released.
   void finalize();
   bool finalized() const noexcept { return finalized_; }
 
-  std::size_t session_count() const noexcept { return sessions_.size(); }
-  const std::vector<PeerSession>& sessions() const noexcept { return sessions_; }
+  std::size_t session_count() const noexcept { return sessions().size(); }
+  std::span<const PeerSession> sessions() const noexcept {
+    return finalized_ ? sessions_ : std::span<const PeerSession>(staging_);
+  }
+
+  /// Build-side allocation footprint (bench/observability).
+  const Arena& arena() const noexcept { return arena_; }
 
   /// Population counts at time t. Queries must be issued in non-decreasing
   /// t; a backwards jump rewinds by rebuilding the sweep (slow path).
@@ -126,8 +138,21 @@ class Swarm {
   Sha1Digest infohash_{};
   std::size_t n_pieces_ = 1;
   SimTime birth_ = 0;
-  std::vector<PeerSession> sessions_;
-  std::vector<Event> events_;
+
+  /// Pre-finalize growth buffer; finalize() moves it into the arena.
+  std::vector<PeerSession> staging_;
+
+  /// All post-finalize per-session storage lives here: one arena, a couple
+  /// of blocks, freed as a unit — instead of a sessions vector, an events
+  /// vector and (worst of all) an unordered_map node per endpoint.
+  Arena arena_;
+  std::span<const PeerSession> sessions_;
+  std::span<const Event> events_;
+  /// Session indices sorted by (endpoint, insertion index): find_peer is a
+  /// binary search over this flat index, replacing the per-endpoint hash
+  /// map. Ties keep insertion order, so lookup semantics are unchanged.
+  std::span<const std::uint32_t> endpoint_index_;
+
   bool finalized_ = false;
   SimTime last_departure_ = 0;
   std::size_t distinct_downloader_ips_ = 0;
@@ -139,9 +164,6 @@ class Swarm {
   std::vector<std::uint32_t> position_;              // session -> index in present_
   static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
   SwarmCounts counts_{};
-
-  // endpoint -> session indices (an endpoint may have several sessions).
-  std::unordered_map<Endpoint, std::vector<std::uint32_t>> by_endpoint_;
 };
 
 }  // namespace btpub

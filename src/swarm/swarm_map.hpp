@@ -1,0 +1,109 @@
+// swarm_map.hpp — infohash-sharded open-addressing registry of swarms.
+//
+// Both the tracker and the peer-wire network keep an infohash -> Swarm*
+// map that is written once per torrent during the build commit phase and
+// then read on every announce/probe. std::unordered_map pays a heap node
+// per torrent plus a rehash stall whenever the world crosses a load
+// threshold — at 500K torrents that is 500K allocations and multi-ms
+// pauses in the middle of the commit loop. A SHA-1 infohash is already a
+// uniform 160-bit random value, so no hash function is needed at all:
+// shard on the top bits of byte 0, then linear-probe a power-of-two flat
+// table keyed on the first 8 digest bytes (full-digest compare on the rare
+// prefix collision). Each shard grows independently, bounding any single
+// rehash to 1/kShards of the world.
+//
+// Insert-or-overwrite and lookup only (the build never unregisters a
+// swarm); not thread-safe for writes, const lookups are safe to share.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+
+namespace btpub {
+
+template <typename T>
+class ShardedSwarmMap {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  ShardedSwarmMap() = default;
+
+  void insert(const Sha1Digest& infohash, T* value) {
+    Shard& shard = shards_[shard_of(infohash)];
+    if ((shard.used + 1) * 4 > shard.slots.size() * 3) grow(shard);
+    Slot* slot = probe(shard, infohash);
+    if (slot->value == nullptr) ++shard.used, ++size_;
+    slot->key = infohash;
+    slot->prefix = prefix_of(infohash);
+    slot->value = value;
+  }
+
+  T* find(const Sha1Digest& infohash) const {
+    const Shard& shard = shards_[shard_of(infohash)];
+    if (shard.slots.empty()) return nullptr;
+    const Slot* slot = probe(shard, infohash);
+    return slot->value;
+  }
+
+  bool contains(const Sha1Digest& infohash) const {
+    return find(infohash) != nullptr;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Slot {
+    Sha1Digest key{};
+    std::uint64_t prefix = 0;
+    T* value = nullptr;  // nullptr == empty
+  };
+  struct Shard {
+    std::vector<Slot> slots;
+    std::size_t used = 0;
+  };
+
+  static std::size_t shard_of(const Sha1Digest& d) noexcept {
+    return d.bytes[0] >> 4;  // top nibble: uniform for SHA-1 keys
+  }
+  static std::uint64_t prefix_of(const Sha1Digest& d) noexcept {
+    std::uint64_t p = 0;
+    for (std::size_t i = 0; i < 8; ++i) p = (p << 8) | d.bytes[i];
+    return p;
+  }
+
+  /// Returns the slot holding `infohash` or the empty slot it belongs in.
+  template <typename ShardT>
+  static auto* probe(ShardT& shard, const Sha1Digest& infohash) {
+    const std::uint64_t prefix = prefix_of(infohash);
+    const std::size_t mask = shard.slots.size() - 1;
+    // Skip the shard-selector bits so in-shard positions stay uniform.
+    std::size_t i = static_cast<std::size_t>(prefix >> 8) & mask;
+    for (;;) {
+      auto& slot = shard.slots[i];
+      if (slot.value == nullptr ||
+          (slot.prefix == prefix && slot.key == infohash)) {
+        return &slot;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void grow(Shard& shard) {
+    const std::size_t capacity =
+        shard.slots.empty() ? 64 : shard.slots.size() * 2;
+    std::vector<Slot> old = std::move(shard.slots);
+    shard.slots.assign(capacity, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.value == nullptr) continue;
+      *probe(shard, slot.key) = slot;
+    }
+  }
+
+  Shard shards_[kShards];
+  std::size_t size_ = 0;
+};
+
+}  // namespace btpub

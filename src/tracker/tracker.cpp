@@ -23,7 +23,7 @@ void Tracker::host_swarm(Swarm& swarm) {
   if (!swarm.finalized()) {
     throw std::logic_error("Tracker: swarm must be finalized before hosting");
   }
-  swarms_[swarm.infohash()] = &swarm;
+  swarms_.insert(swarm.infohash(), &swarm);
 }
 
 bool Tracker::hosts(const Sha1Digest& infohash) const {
@@ -117,15 +117,15 @@ void Tracker::announce_into(const AnnounceRequest& request, AnnounceReply& reply
     shard.last_query[key] = request.now;
   }
 
-  const auto it = swarms_.find(request.infohash);
-  if (it == swarms_.end()) {
+  Swarm* const found = swarms_.find(request.infohash);
+  if (found == nullptr) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.stats.rejected_unknown;
     reply.failure_reason = "unregistered torrent";
     return;
   }
 
-  Swarm& swarm = *it->second;
+  Swarm& swarm = *found;
   const SwarmCounts counts = swarm.counts_at(request.now);
   reply.ok = true;
   reply.complete = counts.seeders;
@@ -147,13 +147,13 @@ void Tracker::announce_into(const AnnounceRequest& request, AnnounceReply& reply
 
 std::optional<Tracker::ScrapeCounts> Tracker::scrape_counts(
     const Sha1Digest& infohash, SimTime now) {
-  const auto it = swarms_.find(infohash);
-  if (it == swarms_.end()) return std::nullopt;
-  const SwarmCounts counts = it->second->counts_at(now);
+  Swarm* const swarm = swarms_.find(infohash);
+  if (swarm == nullptr) return std::nullopt;
+  const SwarmCounts counts = swarm->counts_at(now);
   ScrapeCounts out;
   out.complete = static_cast<std::uint32_t>(counts.seeders);
   out.incomplete = static_cast<std::uint32_t>(counts.leechers);
-  out.downloaded = static_cast<std::uint32_t>(it->second->session_count());
+  out.downloaded = static_cast<std::uint32_t>(swarm->session_count());
   return out;
 }
 

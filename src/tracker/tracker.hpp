@@ -31,6 +31,7 @@
 #include <unordered_set>
 
 #include "swarm/swarm.hpp"
+#include "swarm/swarm_map.hpp"
 #include "tracker/announce.hpp"
 #include "util/rng.hpp"
 
@@ -163,7 +164,7 @@ class Tracker {
   TrackerConfig config_;
   SimDuration enforced_gap_;
   std::uint64_t sample_seed_;
-  std::unordered_map<Sha1Digest, Swarm*> swarms_;
+  ShardedSwarmMap<Swarm> swarms_;
   std::array<Shard, kShards> shards_;
 };
 

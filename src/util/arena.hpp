@@ -1,0 +1,142 @@
+// arena.hpp — bump-pointer arena allocation for build-time data that lives
+// and dies together.
+//
+// A Swarm owns ~3 parallel arrays (sessions, sweep events, endpoint index)
+// whose sizes are known at finalize() and whose lifetime is the swarm's.
+// Allocating each from the general-purpose heap costs a malloc per array
+// (plus, historically, one hash-map node per distinct endpoint); at the
+// 10M-session world that is tens of millions of allocator round trips. An
+// arena turns the whole lot into a handful of block allocations and a
+// pointer bump per array, and frees everything at once in the destructor.
+//
+// Not thread-safe: each arena belongs to exactly one owner (one Swarm, one
+// build worker). The parallel ecosystem fan-out gives every draft its own
+// swarm and therefore its own arena, so no sharing ever occurs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace btpub {
+
+class Arena {
+ public:
+  /// Blocks grow geometrically from `first_block_bytes` up to kMaxBlock;
+  /// requests larger than the next block get a dedicated block.
+  explicit Arena(std::size_t first_block_bytes = kDefaultFirstBlock) noexcept
+      : next_block_bytes_(first_block_bytes ? first_block_bytes
+                                            : kDefaultFirstBlock) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation. `align` must be a power of two. Never returns
+  /// nullptr (throws std::bad_alloc on exhaustion like operator new).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+    const std::size_t padding = static_cast<std::size_t>(aligned - addr);
+    if (bytes + padding > remaining_) {
+      grow(bytes, align);  // leaves cursor_ aligned for `align`
+      return take(cursor_, bytes);
+    }
+    cursor_ += padding;
+    remaining_ -= padding;
+    return take(cursor_, bytes);
+  }
+
+  /// Uninitialised storage for `count` objects of T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is freed without running destructors");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copies a range into the arena and returns the arena-owned copy.
+  template <typename T>
+  T* copy_array(const T* data, std::size_t count) {
+    T* out = alloc_array<T>(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = data[i];
+    return out;
+  }
+
+  /// Drops the bump state but keeps the largest block for reuse, so a
+  /// reset-and-refill cycle (a worker arena across publications) settles
+  /// into zero allocator traffic.
+  void reset() noexcept {
+    if (blocks_.empty()) return;
+    // Keep only the biggest block; it is the steady-state working set.
+    std::size_t biggest = 0;
+    for (std::size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].size > blocks_[biggest].size) biggest = i;
+    }
+    if (biggest != 0) std::swap(blocks_[0], blocks_[biggest]);
+    blocks_.resize(1);
+    cursor_ = blocks_[0].data.get();
+    remaining_ = blocks_[0].size;
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since construction/reset (excluding padding).
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+  /// Bytes reserved from the system allocator.
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  static constexpr std::size_t kDefaultFirstBlock = 4 * 1024;
+  static constexpr std::size_t kMaxBlock = 4 * 1024 * 1024;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* take(std::byte*& cursor, std::size_t bytes) noexcept {
+    void* out = cursor;
+    cursor += bytes;
+    remaining_ -= bytes;
+    bytes_used_ += bytes;
+    return out;
+  }
+
+  void grow(std::size_t bytes, std::size_t align) {
+    // operator new[] storage is aligned for every fundamental type; pad the
+    // request so an extended-alignment ask can still be satisfied inline.
+    const std::size_t need = bytes + (align > alignof(std::max_align_t)
+                                          ? align
+                                          : 0);
+    std::size_t size = next_block_bytes_;
+    while (size < need) size *= 2;
+    Block block{std::make_unique<std::byte[]>(size), size};
+    cursor_ = block.data.get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+    cursor_ += aligned - addr;
+    remaining_ = size - static_cast<std::size_t>(aligned - addr);
+    blocks_.push_back(std::move(block));
+    if (next_block_bytes_ < kMaxBlock) next_block_bytes_ *= 2;
+  }
+
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace btpub

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "crawler/dataset_mmap.hpp"
+
 #include <fstream>
 #include <sstream>
 
@@ -116,6 +118,7 @@ TEST(DatasetIo, RejectsBadMagicAndTruncation) {
 TEST(DatasetIo, LoadOrGenerateCachesAndReloads) {
   const std::string path = "/tmp/btpub_dataset_io_cache_test.ds";
   std::remove(path.c_str());
+  std::remove(mmap_sibling_path(path).c_str());
   int generated = 0;
   auto generate = [&generated]() {
     ++generated;
@@ -127,10 +130,12 @@ TEST(DatasetIo, LoadOrGenerateCachesAndReloads) {
   EXPECT_EQ(generated, 1);  // served from cache
   EXPECT_EQ(second.torrents.size(), first.torrents.size());
   std::remove(path.c_str());
+  std::remove(mmap_sibling_path(path).c_str());
 }
 
 TEST(DatasetIo, CorruptCacheRegenerates) {
   const std::string path = "/tmp/btpub_dataset_io_corrupt_test.ds";
+  std::remove(mmap_sibling_path(path).c_str());
   {
     std::ofstream out(path, std::ios::binary);
     out << "garbage";
@@ -143,6 +148,7 @@ TEST(DatasetIo, CorruptCacheRegenerates) {
   EXPECT_EQ(generated, 1);
   EXPECT_EQ(d.torrents.size(), 2u);
   std::remove(path.c_str());
+  std::remove(mmap_sibling_path(path).c_str());
 }
 
 }  // namespace

@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/ecosystem.hpp"
+#include "crawler/compact_dataset.hpp"
 #include "crawler/dataset_io.hpp"
+#include "crawler/dataset_mmap.hpp"
 
 namespace btpub {
 namespace {
@@ -113,6 +116,31 @@ TEST_F(EcosystemParallelTest, OverlayScheduleAllocatesNoClosures) {
   EXPECT_EQ(overlay->events().pending(), 0u);
   // Re-arming happened: the same cursor records carried many occurrences.
   EXPECT_GT(q.dispatched(), static_cast<std::uint64_t>(cursors));
+}
+
+TEST_F(EcosystemParallelTest, CompactFormByteIdentical) {
+  // The struct-of-arrays conversion is itself deterministic (interning and
+  // flattening walk torrents in index order, user pages are sorted), so
+  // the 1-vs-N invariant must survive it: identical compact arrays, and
+  // identical datasets after inflating back.
+  const CompactDataset a = compact_dataset(serial_->crawl());
+  const CompactDataset b = compact_dataset(parallel_->crawl());
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.peer_blob, b.peer_blob);
+  EXPECT_EQ(std::memcmp(a.torrents.data(), b.torrents.data(),
+                        a.torrents.size() * sizeof(TorrentRecordPod)),
+            0);
+  EXPECT_EQ(serialize(inflate(a.view())), serialize(inflate(b.view())));
+}
+
+TEST_F(EcosystemParallelTest, MmapSnapshotByteIdentical) {
+  // End-to-end: the on-disk snapshot written from a 1-thread build equals
+  // the one written from an N-thread build, byte for byte.
+  std::ostringstream a(std::ios::binary), b(std::ios::binary);
+  save_mmap_snapshot(compact_dataset(serial_->crawl()), a);
+  save_mmap_snapshot(compact_dataset(parallel_->crawl()), b);
+  ASSERT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST_F(EcosystemParallelTest, RepeatedDhtCrawlsIdentical) {
