@@ -1,0 +1,51 @@
+#include "netio/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace btpub::netio {
+
+EventLoop::EventLoop() : epoll_fd_(epoll_create1(0)) {
+  if (!epoll_fd_.valid()) throw_errno("epoll_create1", "");
+}
+
+void EventLoop::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl add fd", std::to_string(fd));
+  }
+}
+
+void EventLoop::modify(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl mod fd", std::to_string(fd));
+  }
+}
+
+void EventLoop::remove(int fd) {
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    throw_errno("epoll_ctl del fd", std::to_string(fd));
+  }
+}
+
+std::span<EventLoop::Ready> EventLoop::wait(std::span<Ready> out,
+                                            int timeout_ms) {
+  epoll_event events[64];
+  const int cap = static_cast<int>(std::min<std::size_t>(out.size(), 64));
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_.get(), events, cap, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait on fd", std::to_string(epoll_fd_.get()));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = {events[i].data.u64, events[i].events};
+  }
+  return out.first(static_cast<std::size_t>(n));
+}
+
+}  // namespace btpub::netio

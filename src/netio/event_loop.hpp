@@ -1,0 +1,41 @@
+// event_loop.hpp — a minimal epoll wrapper: register fds under integer
+// tags, wait, dispatch. One loop per serving shard; no callbacks or timer
+// wheel — the shard's run loop owns control flow and the loop only
+// multiplexes readiness (libtorrent's udp_socket keeps the same split
+// between socket readiness and protocol logic).
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <span>
+
+#include "netio/socket.hpp"
+
+namespace btpub::netio {
+
+class EventLoop {
+ public:
+  /// One readiness notice: the registered tag plus the EPOLL* event mask.
+  struct Ready {
+    std::uint64_t tag = 0;
+    std::uint32_t events = 0;
+  };
+
+  EventLoop();
+
+  void add(int fd, std::uint32_t events, std::uint64_t tag);
+  void modify(int fd, std::uint32_t events, std::uint64_t tag);
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and fills `out` with ready
+  /// entries; returns the filled prefix. EINTR retries internally.
+  std::span<EventLoop::Ready> wait(std::span<Ready> out, int timeout_ms);
+
+  int fd() const noexcept { return epoll_fd_.get(); }
+
+ private:
+  FdHandle epoll_fd_;
+};
+
+}  // namespace btpub::netio

@@ -1,0 +1,154 @@
+// serve.hpp — the wire-serving tracker daemon (`btpub serve`).
+//
+// Architecture (DESIGN.md §4.7): N serving shards, one thread each. Every
+// shard owns a nonblocking UDP socket bound to the *same* port under
+// SO_REUSEPORT — the kernel hashes each client's 4-tuple onto one shard
+// for the life of that client socket, which is what makes per-shard
+// connection-id tables correct. Each shard also owns a full *replica* of
+// the tracker and its swarms, so the packet path shares no mutable state
+// across threads at all: scaling is bounded by the NIC/loopback, not by
+// locks. Replicas answer byte-identically because peer sampling is a pure
+// function of (sample seed, infohash, query time, client IP) and every
+// replica is built from the same seed — a client cannot observe which
+// shard served it.
+//
+// Datagrams move in batches: recvmmsg into a caller-owned DatagramRing,
+// per-packet dispatch through UdpTrackerEndpoint::handle_into (the
+// announce_into zero-allocation scratch path), sendmmsg out of the same
+// ring. Steady state performs zero allocations per packet.
+//
+// Shard 0 additionally hosts the HTTP/1.1 announce+scrape listener and the
+// optional duration timer. Shutdown is graceful on SIGINT/SIGTERM (the CLI
+// writes the daemon's stop eventfd, which every shard polls): in-flight
+// batches finish, staged responses flush, sockets close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netio/socket.hpp"
+#include "swarm/swarm.hpp"
+#include "tracker/tracker.hpp"
+#include "util/time.hpp"
+
+namespace btpub::netio {
+
+struct ServeConfig {
+  std::string bind_ip = "127.0.0.1";
+  std::uint16_t udp_port = 0;   // 0 = ephemeral; read back via udp_port()
+  std::uint16_t http_port = 0;  // 0 = ephemeral
+  bool enable_http = true;
+  /// UDP serving threads (SO_REUSEPORT shards). 0 = hardware concurrency.
+  std::size_t shards = 1;
+
+  /// The served world: `swarms` deterministic synthetic swarms of
+  /// `peers_per_swarm` sessions each, derived from `seed` (the load
+  /// generator derives the same infohashes from the same seed).
+  std::size_t swarms = 64;
+  std::size_t peers_per_swarm = 2000;
+  std::uint64_t seed = 42;
+
+  /// Tracker-enforced per-(client IP, infohash) announce gap in seconds.
+  /// 0 (the default for load serving) disables rate rejection; the
+  /// simulator's 10–15 minute behaviour is `--query-gap 600`.
+  SimDuration query_gap = 0;
+
+  /// Bounded runs for CI: stop after this much wall time (0 = run until
+  /// stop()/signal) or after this many announce datagrams across all
+  /// shards (0 = unbounded).
+  double duration_seconds = 0.0;
+  std::uint64_t max_announces = 0;
+
+  /// Freezes the serving clock at a fixed simulated time. Replies become
+  /// deterministic functions of the request — the golden-bytes tests and
+  /// any load run that wants reproducible peer samples rely on this.
+  std::optional<SimTime> fixed_time;
+
+  /// Kernel buffer request per UDP shard socket (best effort).
+  int so_rcvbuf = 1 << 21;
+  int so_sndbuf = 1 << 21;
+};
+
+/// Aggregate serving counters (summed over shards by stats()).
+struct ServeStats {
+  std::uint64_t datagrams_rx = 0;
+  std::uint64_t responses_tx = 0;
+  std::uint64_t dropped_short = 0;   // < 16 bytes: ignored per BEP 15
+  std::uint64_t send_failures = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t announces = 0;
+  std::uint64_t announce_failures = 0;
+  std::uint64_t scrapes = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t http_accepted = 0;
+  std::uint64_t http_requests = 0;
+  std::uint64_t http_announces = 0;
+  std::uint64_t http_bad_requests = 0;
+};
+
+/// The infohash of the `index`-th served swarm for `seed` — shared between
+/// the daemon's world builder and the load generator's request streams.
+Sha1Digest serve_swarm_infohash(std::uint64_t seed, std::size_t index);
+
+/// Builds the deterministic serving world: every peer arrives within the
+/// first simulated hour and stays for a year, so any serve-time clock
+/// value past hour 1 sees fully populated swarms.
+std::vector<Swarm> build_serve_world(std::uint64_t seed, std::size_t swarms,
+                                     std::size_t peers_per_swarm);
+
+class ServeDaemon {
+ public:
+  /// Binds every socket (throws std::system_error with errno + address on
+  /// failure) and builds the per-shard world replicas. No threads yet.
+  explicit ServeDaemon(ServeConfig config);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Ports actually bound (resolves ephemeral requests).
+  std::uint16_t udp_port() const noexcept { return udp_port_; }
+  std::uint16_t http_port() const noexcept { return http_port_; }
+  std::size_t shard_count() const noexcept { return shard_threads_; }
+
+  /// Spawns the shard threads.
+  void start();
+  /// Requests a graceful stop. Async-signal-safe (a single write to an
+  /// eventfd); callable from any thread or a signal handler.
+  void request_stop() noexcept;
+  /// Joins every shard; returns once all sockets are closed.
+  void join();
+  /// start() + join().
+  void run();
+
+  /// Consistent only after join() (or before start()).
+  ServeStats stats() const;
+
+  /// The serving clock: fixed_time when configured, otherwise hour 1 of
+  /// simulated time plus wall seconds since start().
+  SimTime now() const noexcept;
+
+ private:
+  struct Shard;
+
+  void shard_main(std::size_t index);
+  void drain_udp(Shard& shard);
+
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  FdHandle stop_fd_;   // eventfd; never read, so level-triggered wake-all
+  FdHandle timer_fd_;  // duration timer (shard 0), when duration > 0
+  std::uint16_t udp_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  std::size_t shard_threads_ = 0;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> announce_total_{0};
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace btpub::netio

@@ -40,11 +40,16 @@ std::uint64_t get_u64(std::string_view d, std::size_t at) {
 
 std::string UdpConnectRequest::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpConnectRequest::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(16);
   put_u64(out, kUdpProtocolMagic);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Connect));
   put_u32(out, transaction_id);
-  return out;
 }
 
 std::optional<UdpConnectRequest> UdpConnectRequest::decode(
@@ -61,11 +66,16 @@ std::optional<UdpConnectRequest> UdpConnectRequest::decode(
 
 std::string UdpConnectResponse::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpConnectResponse::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(16);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Connect));
   put_u32(out, transaction_id);
   put_u64(out, connection_id);
-  return out;
 }
 
 std::optional<UdpConnectResponse> UdpConnectResponse::decode(
@@ -84,6 +94,12 @@ std::optional<UdpConnectResponse> UdpConnectResponse::decode(
 
 std::string UdpAnnounceRequest::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpAnnounceRequest::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(98);
   put_u64(out, connection_id);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Announce));
@@ -98,7 +114,6 @@ std::string UdpAnnounceRequest::encode() const {
   put_u32(out, key);
   put_u32(out, num_want);
   put_u16(out, port);
-  return out;
 }
 
 std::optional<UdpAnnounceRequest> UdpAnnounceRequest::decode(
@@ -125,6 +140,12 @@ std::optional<UdpAnnounceRequest> UdpAnnounceRequest::decode(
 
 std::string UdpAnnounceResponse::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpAnnounceResponse::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(20 + peers.size() * 6);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Announce));
   put_u32(out, transaction_id);
@@ -135,7 +156,6 @@ std::string UdpAnnounceResponse::encode() const {
     put_u32(out, p.ip.value());
     put_u16(out, p.port);
   }
-  return out;
 }
 
 std::optional<UdpAnnounceResponse> UdpAnnounceResponse::decode(
@@ -164,6 +184,12 @@ std::optional<UdpAnnounceResponse> UdpAnnounceResponse::decode(
 
 std::string UdpScrapeRequest::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpScrapeRequest::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(16 + infohashes.size() * 20);
   put_u64(out, connection_id);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Scrape));
@@ -171,7 +197,6 @@ std::string UdpScrapeRequest::encode() const {
   for (const Sha1Digest& infohash : infohashes) {
     out.append(reinterpret_cast<const char*>(infohash.bytes.data()), 20);
   }
-  return out;
 }
 
 std::optional<UdpScrapeRequest> UdpScrapeRequest::decode(
@@ -197,6 +222,12 @@ std::optional<UdpScrapeRequest> UdpScrapeRequest::decode(
 
 std::string UdpScrapeResponse::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpScrapeResponse::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(8 + entries.size() * 12);
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Scrape));
   put_u32(out, transaction_id);
@@ -205,7 +236,6 @@ std::string UdpScrapeResponse::encode() const {
     put_u32(out, entry.completed);
     put_u32(out, entry.leechers);
   }
-  return out;
 }
 
 std::optional<UdpScrapeResponse> UdpScrapeResponse::decode(
@@ -232,11 +262,16 @@ std::optional<UdpScrapeResponse> UdpScrapeResponse::decode(
 
 std::string UdpErrorResponse::encode() const {
   std::string out;
+  encode_into(out);
+  return out;
+}
+
+void UdpErrorResponse::encode_into(std::string& out) const {
+  out.clear();
   out.reserve(8 + message.size());
   put_u32(out, static_cast<std::uint32_t>(UdpAction::Error));
   put_u32(out, transaction_id);
   out += message;
-  return out;
 }
 
 std::optional<UdpErrorResponse> UdpErrorResponse::decode(
@@ -256,6 +291,12 @@ std::optional<UdpAction> udp_response_action(std::string_view datagram) {
   const std::uint32_t action = get_u32(datagram, 0);
   if (action > static_cast<std::uint32_t>(UdpAction::Error)) return std::nullopt;
   return static_cast<UdpAction>(action);
+}
+
+std::optional<std::uint32_t> udp_response_transaction_id(
+    std::string_view datagram) {
+  if (datagram.size() < 8) return std::nullopt;
+  return get_u32(datagram, 4);
 }
 
 }  // namespace btpub

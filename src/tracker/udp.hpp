@@ -34,6 +34,11 @@ struct UdpConnectRequest {
   std::uint32_t transaction_id = 0;
 
   std::string encode() const;
+  /// Clears `out` and writes the datagram into it; reusing one buffer
+  /// across calls makes steady-state encoding allocation-free (the wire
+  /// server and load generator both rely on this — see src/netio/).
+  /// Byte-identical to encode(); every encode() below delegates here.
+  void encode_into(std::string& out) const;
   static std::optional<UdpConnectRequest> decode(std::string_view datagram);
 };
 
@@ -42,6 +47,7 @@ struct UdpConnectResponse {
   std::uint64_t connection_id = 0;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpConnectResponse> decode(std::string_view datagram);
 };
 
@@ -60,6 +66,7 @@ struct UdpAnnounceRequest {
   std::uint16_t port = 0;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpAnnounceRequest> decode(std::string_view datagram);
 };
 
@@ -71,6 +78,7 @@ struct UdpAnnounceResponse {
   std::vector<Endpoint> peers;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpAnnounceResponse> decode(std::string_view datagram);
 };
 
@@ -84,6 +92,7 @@ struct UdpScrapeRequest {
   static constexpr std::size_t kMaxInfohashes = 74;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpScrapeRequest> decode(std::string_view datagram);
 };
 
@@ -102,6 +111,7 @@ struct UdpScrapeResponse {
   std::vector<UdpScrapeEntry> entries;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpScrapeResponse> decode(std::string_view datagram);
 };
 
@@ -110,10 +120,15 @@ struct UdpErrorResponse {
   std::string message;
 
   std::string encode() const;
+  void encode_into(std::string& out) const;
   static std::optional<UdpErrorResponse> decode(std::string_view datagram);
 };
 
 /// Peeks at the action field of a response datagram (offset 0).
 std::optional<UdpAction> udp_response_action(std::string_view datagram);
+
+/// Peeks at the transaction id of a response datagram (offset 4); response
+/// datagrams of every action carry it there. nullopt when too short.
+std::optional<std::uint32_t> udp_response_transaction_id(std::string_view datagram);
 
 }  // namespace btpub

@@ -24,6 +24,29 @@ class UdpTrackerEndpoint {
   std::string handle(std::string_view datagram, const Endpoint& from,
                      SimTime now);
 
+  /// Same protocol state machine, but the response is written into `out`
+  /// (cleared first; capacity kept) and announces run through the
+  /// tracker's announce_into fast path with endpoint-owned scratch —
+  /// allocation-free once buffers have warmed up, except on connect (the
+  /// connection table inserts) and on a reply whose peer list outgrows
+  /// every previous one. This is the per-packet path the wire server
+  /// (src/netio/) drives; handle() is a thin shim over it.
+  void handle_into(std::string_view datagram, const Endpoint& from,
+                   SimTime now, std::string& out);
+
+  /// Per-action counters, bumped by handle_into/handle. `announces` counts
+  /// protocol-level announce datagrams; `announce_failures` the subset the
+  /// tracker refused (rate limit, unknown torrent, ban).
+  struct Stats {
+    std::uint64_t connects = 0;
+    std::uint64_t announces = 0;
+    std::uint64_t announce_failures = 0;
+    std::uint64_t scrapes = 0;
+    std::uint64_t bad_connection_id = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
   /// Connection ids still honoured right now; stale ids are pruned on
   /// connect, so this cannot grow beyond the live client population.
   std::size_t active_connections() const noexcept {
@@ -32,6 +55,13 @@ class UdpTrackerEndpoint {
 
   static constexpr SimDuration kConnectionTtl = minutes(2);
 
+  /// Encodes the BEP-15 announce response for `reply` straight into `out`
+  /// — byte-identical to filling a UdpAnnounceResponse and encode(), minus
+  /// the peer-list copy.
+  static void encode_announce_response_into(std::uint32_t transaction_id,
+                                            const AnnounceReply& reply,
+                                            std::string& out);
+
  private:
   struct Connection {
     SimTime issued = 0;
@@ -39,6 +69,8 @@ class UdpTrackerEndpoint {
   };
 
   std::string error(std::uint32_t transaction_id, std::string message) const;
+  void error_into(std::uint32_t transaction_id, std::string_view message,
+                  std::string& out) const;
   /// A connection id is valid up to and INCLUDING kConnectionTtl after
   /// issue, and only from the address it was issued to.
   bool connection_valid(std::uint64_t id, const Endpoint& from,
@@ -48,6 +80,10 @@ class UdpTrackerEndpoint {
   Tracker* tracker_;
   Rng rng_;
   std::unordered_map<std::uint64_t, Connection> connections_;
+  Stats stats_;
+  // Reused across handle_into calls (the zero-allocation contract).
+  AnnounceReply reply_;
+  Tracker::AnnounceScratch scratch_;
 };
 
 }  // namespace btpub

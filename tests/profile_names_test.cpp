@@ -239,7 +239,9 @@ TEST(PlanSeedSessions, AvailabilitySplitsIntoDailySessions) {
   ASSERT_GE(sessions.size(), 2u);
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     EXPECT_LE(sessions[i].length(), hours(8));
-    if (i > 0) EXPECT_GT(sessions[i].start, sessions[i - 1].end);
+    if (i > 0) {
+      EXPECT_GT(sessions[i].start, sessions[i - 1].end);
+    }
   }
 }
 

@@ -106,7 +106,9 @@ TEST_P(SessionProperty, SessionsCoverEverySightingExactlyOnce) {
   // and every sighting falls into exactly one session.
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     EXPECT_LT(sessions[i].start, sessions[i].end);
-    if (i > 0) EXPECT_GT(sessions[i].start, sessions[i - 1].end + gap - minutes(15) - 1);
+    if (i > 0) {
+      EXPECT_GT(sessions[i].start, sessions[i - 1].end + gap - minutes(15) - 1);
+    }
   }
   for (const SimTime s : sightings) {
     int containing = 0;

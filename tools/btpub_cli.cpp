@@ -11,8 +11,15 @@
 //   btpub dht-crawl --scenario spoofed --seed 42 --out spoofed_dht.ds
 //       run the trackerless (DHT) vantage next to the tracker crawl and
 //       print the cross-check report (tracker-vs-DHT disagreement flags)
+//   btpub serve --port 8800 --shards 4
+//       run the wire tracker daemon (BEP 15 UDP + HTTP announce/scrape);
+//       SIGINT/SIGTERM drain gracefully and print serving stats
+//   btpub loadgen --port 8800 --threads 4 --duration 5
+//       drive a served tracker with deterministic announce streams and
+//       print throughput + latency percentiles
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +33,8 @@
 #include "core/ecosystem.hpp"
 #include "crawler/cross_check.hpp"
 #include "crawler/dataset_io.hpp"
+#include "netio/loadgen.hpp"
+#include "netio/serve.hpp"
 #include "portal/rss.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -44,7 +53,18 @@ int usage() {
                "  btpub export FILE OUT_DIR\n"
                "  btpub feed [--scenario NAME] [--seed N]\n"
                "  btpub dht-crawl [--scenario NAME] [--seed N] [--out FILE]"
-               " [--bootstrap MAGNET]\n");
+               " [--bootstrap MAGNET]\n"
+               "  btpub serve [--bind IP] [--port N] [--http-port N]"
+               " [--no-http] [--shards N]\n"
+               "              [--swarms N] [--peers N] [--seed N]"
+               " [--query-gap SECONDS]\n"
+               "              [--duration SECONDS] [--max-announces N]\n"
+               "  btpub loadgen [--target IP] --port N [--threads N]"
+               " [--duration SECONDS]\n"
+               "              [--rate PER_WORKER_PER_SEC] [--window N]"
+               " [--numwant N]\n"
+               "              [--max-requests N] [--swarms N] [--seed N]"
+               " [--http --http-port N]\n");
   return 1;
 }
 
@@ -68,6 +88,22 @@ struct Options {
   std::size_t threads = 0;
   /// dht-crawl: magnet URI whose x.pe hints bootstrap the DHT vantage.
   std::string bootstrap;
+  // serve / loadgen (src/netio/).
+  std::string bind_ip = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint16_t http_port = 0;
+  bool no_http = false;
+  bool use_http = false;
+  std::size_t shards = 1;
+  std::size_t swarms = 64;
+  std::size_t peers = 2000;
+  double query_gap = 0.0;
+  double duration = 0.0;
+  std::uint64_t max_announces = 0;
+  std::uint64_t max_requests = 0;
+  double rate = 0.0;
+  std::size_t window = 32;
+  std::uint32_t numwant = 50;
   std::vector<std::string> positional;
 };
 
@@ -91,6 +127,39 @@ Options parse_options(int argc, char** argv, int first) {
       options.threads = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--bootstrap") {
       options.bootstrap = next();
+    } else if (arg == "--bind" || arg == "--target") {
+      options.bind_ip = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--http-port") {
+      options.http_port = static_cast<std::uint16_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--no-http") {
+      options.no_http = true;
+    } else if (arg == "--http") {
+      options.use_http = true;
+    } else if (arg == "--shards") {
+      options.shards = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--swarms") {
+      options.swarms = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--peers") {
+      options.peers = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--query-gap") {
+      options.query_gap = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--duration") {
+      options.duration = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--max-announces") {
+      options.max_announces = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--max-requests") {
+      options.max_requests = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--rate") {
+      options.rate = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--window") {
+      options.window = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--numwant") {
+      options.numwant = static_cast<std::uint32_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
     } else if (starts_with(arg, "--")) {
       throw std::invalid_argument("unknown option " + arg);
     } else {
@@ -252,6 +321,121 @@ int cmd_dht_crawl(const Options& options) {
   return 0;
 }
 
+// The daemon the signal handler stops; set only while cmd_serve runs.
+netio::ServeDaemon* g_serve_daemon = nullptr;
+
+void stop_signal_handler(int) {
+  // request_stop is a single eventfd write: async-signal-safe.
+  if (g_serve_daemon != nullptr) g_serve_daemon->request_stop();
+}
+
+int cmd_serve(const Options& options) {
+  netio::ServeConfig config;
+  config.bind_ip = options.bind_ip;
+  config.udp_port = options.port;
+  config.http_port = options.http_port;
+  config.enable_http = !options.no_http;
+  config.shards = options.shards;
+  config.swarms = options.swarms;
+  config.peers_per_swarm = options.peers;
+  config.seed = options.seed;
+  config.query_gap = static_cast<SimDuration>(options.query_gap);
+  config.duration_seconds = options.duration;
+  config.max_announces = options.max_announces;
+
+  try {
+    netio::ServeDaemon daemon(config);
+    g_serve_daemon = &daemon;
+    std::signal(SIGINT, stop_signal_handler);
+    std::signal(SIGTERM, stop_signal_handler);
+    std::fprintf(stderr,
+                 "[btpub] serving udp://%s:%u (%zu shard%s, %zu swarms x %zu"
+                 " peers)%s\n",
+                 config.bind_ip.c_str(), daemon.udp_port(),
+                 daemon.shard_count(), daemon.shard_count() == 1 ? "" : "s",
+                 config.swarms, config.peers_per_swarm,
+                 config.enable_http
+                     ? (", http://" + config.bind_ip + ":" +
+                        std::to_string(daemon.http_port()) + "/announce")
+                           .c_str()
+                     : "");
+    daemon.run();
+    g_serve_daemon = nullptr;
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    const netio::ServeStats stats = daemon.stats();
+    AsciiTable table("Serving stats");
+    table.header({"metric", "value"});
+    table.row({"datagrams received", std::to_string(stats.datagrams_rx)});
+    table.row({"responses sent", std::to_string(stats.responses_tx)});
+    table.row({"connects", std::to_string(stats.connects)});
+    table.row({"announces", std::to_string(stats.announces)});
+    table.row({"scrapes", std::to_string(stats.scrapes)});
+    table.row({"malformed", std::to_string(stats.malformed)});
+    table.row({"dropped short", std::to_string(stats.dropped_short)});
+    table.row({"http requests", std::to_string(stats.http_requests)});
+    table.row({"http announces", std::to_string(stats.http_announces)});
+    table.print();
+    return 0;
+  } catch (const std::system_error& e) {
+    g_serve_daemon = nullptr;
+    std::fprintf(stderr, "[btpub] error: %s (errno %d)\n", e.what(),
+                 e.code().value());
+    return 2;
+  }
+}
+
+int cmd_loadgen(const Options& options) {
+  if (options.port == 0 && !(options.use_http && options.http_port != 0)) {
+    std::fprintf(stderr, "loadgen: --port N is required\n");
+    return 1;
+  }
+  netio::LoadgenConfig config;
+  config.target_ip = options.bind_ip;
+  config.udp_port = options.port;
+  config.threads = options.threads == 0 ? 1 : options.threads;
+  config.duration_seconds = options.duration > 0.0 ? options.duration : 2.0;
+  config.max_requests = options.max_requests;
+  config.rate = options.rate;
+  config.window = options.window;
+  config.seed = options.seed;
+  config.swarms = options.swarms;
+  config.numwant = options.numwant;
+  config.use_http = options.use_http;
+  config.http_port = options.http_port;
+
+  try {
+    const netio::LoadgenReport report = netio::run_loadgen(config);
+    AsciiTable table("Loadgen report");
+    table.header({"metric", "value"});
+    table.row({"workers", std::to_string(config.threads)});
+    table.row({"sent", std::to_string(report.sent)});
+    table.row({"received", std::to_string(report.received)});
+    table.row({"errors", std::to_string(report.errors)});
+    table.row({"timeouts", std::to_string(report.timeouts)});
+    table.row({"reconnects", std::to_string(report.reconnects)});
+    table.row({"elapsed", format_double(report.elapsed_seconds, 2) + " s"});
+    table.row({"throughput",
+               format_double(report.throughput(), 0) + " announces/s"});
+    table.row({"p50 latency",
+               format_double(static_cast<double>(report.p50_ns) / 1e6, 3) +
+                   " ms"});
+    table.row({"p90 latency",
+               format_double(static_cast<double>(report.p90_ns) / 1e6, 3) +
+                   " ms"});
+    table.row({"p99 latency",
+               format_double(static_cast<double>(report.p99_ns) / 1e6, 3) +
+                   " ms"});
+    table.print();
+    return report.received > 0 ? 0 : 2;
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "[btpub] error: %s (errno %d)\n", e.what(),
+                 e.code().value());
+    return 2;
+  }
+}
+
 int cmd_feed(const Options& options) {
   ScenarioConfig config = scenario_by_name(options.scenario, options.seed);
   config.window = days(1);
@@ -275,6 +459,8 @@ int main(int argc, char** argv) {
     if (command == "export") return cmd_export(options);
     if (command == "feed") return cmd_feed(options);
     if (command == "dht-crawl") return cmd_dht_crawl(options);
+    if (command == "serve") return cmd_serve(options);
+    if (command == "loadgen") return cmd_loadgen(options);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "btpub: %s\n", e.what());

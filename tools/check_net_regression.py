@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate on wire-serving (daemon) performance.
+
+Compares a freshly generated BENCH_net.json against the committed baseline
+at the repo root. Raw announces/sec are machine-dependent (CI runners vary
+wildly, and loopback shares cores between server and load generator), so
+the gate compares the *wire_vs_inprocess* ratio per (transport, threads)
+case: wire throughput divided by the same world answered through
+announce_into with no sockets. The in-process loop is the in-tree control
+workload, which normalises CPU speed away; what remains is the netio
+layer's own overhead. A >10% worse ratio fails the build.
+
+Also fails on correctness signals that need no baseline: any case with
+errors, or a timeout rate above 1% of sent requests (the loopback path
+must be effectively lossless).
+
+Usage: check_net_regression.py BASELINE.json FRESH.json [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    """Maps (transport, threads) -> result row."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {(row["transport"], row["threads"]): row
+            for row in doc.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    args = parser.parse_args()
+
+    base = load_cases(args.baseline)
+    fresh = load_cases(args.fresh)
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        print("check_net_regression: no comparable cases "
+              f"(baseline has {sorted(base)}, fresh has {sorted(fresh)})")
+        return 1
+
+    failed = False
+    for key in common:
+        transport, threads = key
+        b, f = base[key], fresh[key]
+
+        if f.get("errors", 0) > 0:
+            print(f"{transport} x{threads}: {f['errors']} errors FAIL")
+            failed = True
+        sent = f.get("sent", 0)
+        if sent > 0 and f.get("timeouts", 0) > 0.01 * sent:
+            print(f"{transport} x{threads}: {f['timeouts']} timeouts of "
+                  f"{sent} sent (>1%) FAIL")
+            failed = True
+
+        base_ratio = b.get("wire_vs_inprocess", 0.0)
+        fresh_ratio = f.get("wire_vs_inprocess", 0.0)
+        if base_ratio <= 0.0:
+            continue
+        # Absolute slack floor: quick runs measure ~1 s windows, so a few
+        # hundredths of ratio is scheduler noise, not a regression.
+        limit = min(base_ratio * (1.0 - args.tolerance), base_ratio - 0.02)
+        verdict = "OK" if fresh_ratio >= limit else "REGRESSION"
+        if verdict == "REGRESSION":
+            failed = True
+        print(f"{transport} x{threads}: wire/inprocess ratio "
+              f"{fresh_ratio:.4f} vs baseline {base_ratio:.4f} "
+              f"(limit {limit:.4f}) {verdict}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
