@@ -47,10 +47,14 @@
 #include "crawler/compact_dataset.hpp"
 #include "crawler/dataset_io.hpp"
 #include "crawler/dataset_mmap.hpp"
+#include "synth_world.hpp"
 #include "util/rng.hpp"
 
 namespace btpub {
 namespace {
+
+using bench::dataset_sessions;
+using bench::synth_dataset;
 
 struct Options {
   std::string json_path;  // defaulted per mode in run()
@@ -99,6 +103,13 @@ struct CaseResult {
   std::uint64_t typed_scheduled = 0;
   std::uint64_t callbacks_scheduled = 0;
   std::uint64_t dispatched = 0;
+  /// BuildStats per-phase wall seconds (the Amdahl breakdown); only the
+  /// ecosystem_build cases fill these.
+  double seconds_population = 0.0;
+  double seconds_backfill = 0.0;
+  double seconds_draw = 0.0;
+  double seconds_prepare = 0.0;
+  double seconds_commit = 0.0;
 };
 
 long peak_rss_kb_self() {
@@ -122,6 +133,12 @@ CaseResult run_case(const std::string& phase, std::size_t threads,
     ecosystem.build();
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    const BuildStats& stats = ecosystem.build_stats();
+    result.seconds_population = stats.seconds_population;
+    result.seconds_backfill = stats.seconds_backfill;
+    result.seconds_draw = stats.seconds_draw;
+    result.seconds_prepare = stats.seconds_prepare;
+    result.seconds_commit = stats.seconds_commit;
   } else {
     ecosystem.build();
     const SimTime horizon = config.window + config.dht_crawler.grace;
@@ -195,101 +212,8 @@ struct SnapResult {
   std::uint64_t distinct_ips = 0;  // cross-phase sanity value
 };
 
-/// Deterministic synthetic crawl world with ~`sessions` downloader
-/// entries spread over sessions/20 torrents. Usernames draw from a 10K
-/// pool (interning realism: heavy cross-torrent sharing), titles and
-/// filenames are unique per torrent (arena growth realism).
-Dataset synth_dataset(std::uint64_t sessions, std::uint64_t seed) {
-  Dataset d;
-  d.name = "synthetic-snapshot";
-  d.style = DatasetStyle::Pb10;
-  d.window_start = 0;
-  d.window_end = days(44);
-
-  const std::uint64_t torrents = std::max<std::uint64_t>(1, sessions / 20);
-  const std::uint64_t user_pool =
-      std::min<std::uint64_t>(10'000, std::max<std::uint64_t>(1, torrents / 4));
-  d.torrents.reserve(torrents);
-  d.downloaders.reserve(torrents);
-  d.publisher_sightings.reserve(torrents);
-
-  char buf[64];
-  for (std::uint64_t i = 0; i < torrents; ++i) {
-    Rng rng(derive_seed(seed, 0xda7a, i));
-    TorrentRecord r;
-    r.portal_id = static_cast<TorrentId>(i);
-    for (std::size_t k = 0; k < r.infohash.bytes.size(); ++k) {
-      r.infohash.bytes[k] = static_cast<std::uint8_t>(rng() >> 56);
-    }
-    std::snprintf(buf, sizeof buf, "Title.%llu.x264",
-                  static_cast<unsigned long long>(i));
-    r.title = buf;
-    r.category = static_cast<ContentCategory>(rng.uniform_int(0, 5));
-    r.language = static_cast<Language>(rng.uniform_int(0, 3));
-    r.size_bytes = rng.uniform_int(1 << 20, std::int64_t{1} << 33);
-    std::snprintf(buf, sizeof buf, "user%llu",
-                  static_cast<unsigned long long>(rng.uniform_int(
-                      0, static_cast<std::int64_t>(user_pool) - 1)));
-    r.username = buf;
-    if (rng.uniform() < 0.6) {
-      r.publisher_ip = IpAddress(static_cast<std::uint32_t>(rng()));
-    }
-    r.published_at = rng.uniform_int(0, d.window_end);
-    r.first_seen = r.published_at;
-    if (rng.uniform() < 0.1) r.textbox = "visit http://promo.example/now";
-    const int n_files = static_cast<int>(rng.uniform_int(1, 3));
-    for (int f = 0; f < n_files; ++f) {
-      std::snprintf(buf, sizeof buf, "payload.%llu.part%d.rar",
-                    static_cast<unsigned long long>(i), f);
-      r.payload_filenames.emplace_back(buf);
-    }
-    r.piece_count = static_cast<std::size_t>(rng.uniform_int(16, 4096));
-    r.initial_seeders = static_cast<std::uint32_t>(rng.uniform_int(0, 50));
-    r.initial_peers = static_cast<std::uint32_t>(rng.uniform_int(0, 200));
-    r.query_count = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
-
-    // Spread the session budget: torrent i gets the base share, the first
-    // `sessions % torrents` torrents one extra.
-    std::uint64_t quota = sessions / torrents + (i < sessions % torrents ? 1 : 0);
-    std::vector<IpAddress> ips;
-    ips.reserve(quota);
-    for (std::uint64_t s = 0; s < quota; ++s) {
-      ips.emplace_back(static_cast<std::uint32_t>(rng()));
-    }
-    r.max_concurrent = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        quota, 1 + static_cast<std::uint64_t>(rng.uniform_int(1, 64))));
-    std::vector<SimTime> sightings;
-    if (r.publisher_ip) {
-      const int n = static_cast<int>(rng.uniform_int(1, 3));
-      for (int s = 0; s < n; ++s) {
-        sightings.push_back(rng.uniform_int(r.published_at, d.window_end));
-      }
-    }
-    d.torrents.push_back(std::move(r));
-    d.downloaders.push_back(std::move(ips));
-    d.publisher_sightings.push_back(std::move(sightings));
-  }
-  for (std::uint64_t u = 0; u < user_pool; ++u) {
-    Rng rng(derive_seed(seed, 0x05e4, u));
-    UserPage page;
-    std::snprintf(buf, sizeof buf, "user%llu",
-                  static_cast<unsigned long long>(u));
-    page.username = buf;
-    page.banned = rng.uniform() < 0.05;
-    const int n = static_cast<int>(rng.uniform_int(0, 8));
-    for (int s = 0; s < n; ++s) {
-      page.publish_times.push_back(rng.uniform_int(0, d.window_end));
-    }
-    d.user_pages.emplace(page.username, std::move(page));
-  }
-  return d;
-}
-
-std::uint64_t dataset_sessions(const Dataset& d) {
-  std::uint64_t n = 0;
-  for (const auto& ips : d.downloaders) n += ips.size();
-  return n;
-}
+// The synthetic worlds come from bench/synth_world.hpp, shared with
+// analysis_perf so both suites measure the same bytes.
 
 /// Rough heap footprint of the pointer-heavy form (for the bytes column).
 std::uint64_t dataset_bytes_estimate(const Dataset& d) {
@@ -619,13 +543,18 @@ void write_json(const Options& opt, const ScenarioConfig& config,
         "    {\"phase\": \"%s\", \"threads\": %zu, \"seconds\": %.4f, "
         "\"peak_rss_kb\": %ld, \"torrents\": %llu, "
         "\"pending_after_build\": %llu, \"typed_scheduled\": %llu, "
-        "\"callbacks_scheduled\": %llu, \"dispatched\": %llu}%s\n",
+        "\"callbacks_scheduled\": %llu, \"dispatched\": %llu, "
+        "\"seconds_population\": %.4f, \"seconds_backfill\": %.4f, "
+        "\"seconds_draw\": %.4f, \"seconds_prepare\": %.4f, "
+        "\"seconds_commit\": %.4f}%s\n",
         row.phase.c_str(), row.threads, row.r.seconds, row.r.peak_rss_kb,
         static_cast<unsigned long long>(row.r.torrents),
         static_cast<unsigned long long>(row.r.pending_after_build),
         static_cast<unsigned long long>(row.r.typed_scheduled),
         static_cast<unsigned long long>(row.r.callbacks_scheduled),
         static_cast<unsigned long long>(row.r.dispatched),
+        row.r.seconds_population, row.r.seconds_backfill, row.r.seconds_draw,
+        row.r.seconds_prepare, row.r.seconds_commit,
         i + 1 < rows.size() ? "," : "");
     out << line;
   }
@@ -707,6 +636,17 @@ int run(int argc, char** argv) {
               "torrents\n",
               rows[0].r.seconds, rows[1].r.seconds, opt.threads, speedup,
               static_cast<unsigned long long>(rows[0].r.torrents));
+  for (std::size_t i = 0; i < 2; ++i) {
+    const CaseResult& r = rows[i].r;
+    const double serial = r.seconds_population + r.seconds_backfill +
+                          r.seconds_commit;
+    std::printf(
+        "  phases @%zu: population %.3fs, backfill %.3fs, draw %.3fs, "
+        "prepare %.3fs, commit %.3fs (serial floor %.0f%%)\n",
+        rows[i].threads, r.seconds_population, r.seconds_backfill,
+        r.seconds_draw, r.seconds_prepare, r.seconds_commit,
+        r.seconds > 0.0 ? 100.0 * serial / r.seconds : 0.0);
+  }
   std::printf("overlay: %.3fs construct, %llu pending cursors, %llu closures, "
               "%llu occurrences replayed\n",
               rows[2].r.seconds,

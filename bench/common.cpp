@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "crawler/dataset_io.hpp"
 
@@ -45,6 +46,19 @@ Dataset dataset_for(const ScenarioConfig& config) {
 Dataset dataset_for(const ScenarioConfig& config, Ecosystem& ecosystem) {
   return load_or_generate(cache_path(config),
                           [&ecosystem]() { return ecosystem.crawl(); });
+}
+
+std::size_t threads_from_args(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return threads;
 }
 
 void banner(const std::string& id, const std::string& title,

@@ -34,4 +34,12 @@ Dataset dataset_for(const ScenarioConfig& config, Ecosystem& ecosystem);
 void banner(const std::string& id, const std::string& title,
             const std::string& paper_note, const ScenarioConfig& config);
 
+/// Parses the shared fig/table command line: `--threads N` (0 = hardware
+/// concurrency) sets the worker count the harness passes to ecosystem
+/// builds (ScenarioConfig::threads) and to the analysis passes. Every one
+/// of those is byte-identical at any thread count, so the flag changes
+/// wall time, never output. Returns 1 when the flag is absent; exits with
+/// usage on unknown arguments.
+std::size_t threads_from_args(int argc, char** argv);
+
 }  // namespace btpub::bench

@@ -11,8 +11,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Extension", "Downloader & publisher demographics",
                 "supply concentrates at hosting countries (FR/US data "
                 "centers); demand scatters across eyeball ISPs worldwide",
@@ -20,7 +22,7 @@ int main() {
 
   const Dataset dataset = bench::dataset_for(pb10);
   const IspCatalog catalog = IspCatalog::standard();
-  const auto demo = downloader_demographics(dataset, catalog.db(), 10);
+  const auto demo = downloader_demographics(dataset, catalog.db(), 10, threads);
 
   AsciiTable countries("Top downloader countries");
   countries.header({"country", "distinct IPs", "share"});

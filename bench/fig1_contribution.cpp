@@ -7,8 +7,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Figure 1", "Content published by the top x% of publishers",
                 "top 3% of publishers contribute ~40% of content; ~100 "
                 "publishers own 2/3 of content and 3/4 of downloads",
@@ -21,11 +23,13 @@ int main() {
   header.push_back("gini");
   table.header(std::move(header));
 
-  for (const ScenarioConfig& config :
+  for (ScenarioConfig config :
        {ScenarioConfig::mn08(bench::kDefaultSeed),
         ScenarioConfig::pb09(bench::kDefaultSeed), pb10}) {
+    config.threads = threads;
     const Dataset dataset = bench::dataset_for(config);
-    const IdentityAnalysis identity(dataset, IspCatalog::standard().db(), 100);
+    const IdentityAnalysis identity(dataset, IspCatalog::standard().db(), 100,
+                                    {}, threads);
     const ContributionCurve curve = contribution_curve(identity, xs);
     std::vector<std::string> row{dataset.name};
     for (const LorenzPoint& p : curve.points) {
@@ -39,7 +43,7 @@ int main() {
   // §3.1/§3.3 headline splits on pb10.
   const Dataset dataset = bench::dataset_for(pb10);
   const IspCatalog catalog = IspCatalog::standard();
-  const IdentityAnalysis identity(dataset, catalog.db(), 100);
+  const IdentityAnalysis identity(dataset, catalog.db(), 100, {}, threads);
   const auto fake = identity.share_of(TargetGroup::Fake);
   const auto top = identity.share_of(TargetGroup::Top);
 
@@ -56,7 +60,8 @@ int main() {
              std::to_string(identity.compromised_in_top()));
   split.print();
 
-  const auto consumption = top_publisher_consumption(dataset, identity, 100);
+  const auto consumption =
+      top_publisher_consumption(dataset, identity, 100, threads);
   AsciiTable consume("Top-100 publisher IPs as consumers (paper: 40% download "
                      "nothing, 80% fewer than 5 files)");
   consume.header({"zero downloads", "under 5 downloads", "of"});

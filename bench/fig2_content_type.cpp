@@ -7,8 +7,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Figure 2", "Content-type mix per target group",
                 "video dominates everywhere (37-51% for All, larger for Top-HP);"
                 " fake publishers concentrate on video + software",
@@ -16,7 +18,7 @@ int main() {
 
   const Dataset dataset = bench::dataset_for(pb10);
   const IspCatalog catalog = IspCatalog::standard();
-  const IdentityAnalysis identity(dataset, catalog.db(), 100);
+  const IdentityAnalysis identity(dataset, catalog.db(), 100, {}, threads);
 
   AsciiTable table("Figure 2 — content type fractions per group (pb10)");
   std::vector<std::string> header{"group"};

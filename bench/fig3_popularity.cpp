@@ -9,15 +9,17 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Figure 3", "Avg downloaders per torrent per publisher",
                 "top median ~7x All; Top-HP ~1.5x Top-CI; Fake least popular",
                 pb10);
 
   const Dataset dataset = bench::dataset_for(pb10);
   const IspCatalog catalog = IspCatalog::standard();
-  const IdentityAnalysis identity(dataset, catalog.db(), 100);
+  const IdentityAnalysis identity(dataset, catalog.db(), 100, {}, threads);
   Rng rng(pb10.seed);
 
   AsciiTable table("Figure 3 — per-publisher avg downloaders (box plots, pb10)");

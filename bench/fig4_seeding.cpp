@@ -10,8 +10,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig config = ScenarioConfig::signature(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig config = ScenarioConfig::signature(bench::kDefaultSeed);
+  config.threads = threads;
   bench::banner("Figure 4", "Seeding behaviour per target group",
                 "(a) fake longest, Top-HP > Top-CI, top 'a few hours'; "
                 "(b) top ~3 parallel torrents, fake many, regular ~1; "
@@ -20,10 +22,11 @@ int main() {
 
   const Dataset dataset = bench::dataset_for(config);
   const IspCatalog catalog = IspCatalog::standard();
-  const IdentityAnalysis identity(dataset, catalog.db(), 60);
+  const IdentityAnalysis identity(dataset, catalog.db(), 60, {}, threads);
   Rng rng(config.seed);
 
-  const auto panel = seeding_panel(dataset, identity, 400, rng, hours(4));
+  const auto panel =
+      seeding_panel(dataset, identity, 400, rng, hours(4), threads);
 
   AsciiTable a("Figure 4(a) — avg seeding time per torrent (hours)");
   a.header({"group", "p25", "median", "p75", "publishers"});

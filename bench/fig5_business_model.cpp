@@ -11,8 +11,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Figure 5 / §6", "Business-model money flows",
                 "OVH earns 23.4K-42.9K EUR/month from 78-164 publisher "
                 "servers; publisher sites monetise via ads, donations and "
@@ -21,10 +23,10 @@ int main() {
 
   auto ecosystem = bench::build_ecosystem(pb10);
   const Dataset dataset = bench::dataset_for(pb10, *ecosystem);
-  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100);
+  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100, {}, threads);
   Rng rng(pb10.seed);
-  const auto classification =
-      classify_top_publishers(dataset, identity, ecosystem->websites(), 5, rng);
+  const auto classification = classify_top_publishers(
+      dataset, identity, ecosystem->websites(), 5, rng, threads);
   const MoneyFlows flows =
       money_flows(dataset, classification, ecosystem->websites(),
                   ecosystem->appraisal_panel(), ecosystem->geo(), "OVH", 300.0);

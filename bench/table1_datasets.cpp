@@ -6,7 +6,8 @@
 
 using namespace btpub;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
   const auto configs = {ScenarioConfig::mn08(bench::kDefaultSeed),
                         ScenarioConfig::pb09(bench::kDefaultSeed),
                         ScenarioConfig::pb10(bench::kDefaultSeed)};
@@ -19,7 +20,8 @@ int main() {
   AsciiTable table("Table 1 — datasets (simulated scale)");
   table.header({"dataset", "window", "#torrents (user/IP)", "#IP addresses",
                 "IP obs. total"});
-  for (const ScenarioConfig& config : configs) {
+  for (ScenarioConfig config : configs) {
+    config.threads = threads;
     const Dataset dataset = bench::dataset_for(config);
     std::string identified;
     if (dataset.style == DatasetStyle::Mn08) {

@@ -6,17 +6,20 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Table 2", "Content publishers distribution per ISP",
                 "pb10 top-10 led by OVH 15.16% (hosting), then a mix of "
                 "hosting providers and commercial ISPs (Comcast 2.86%)",
                 pb10);
 
   const IspCatalog catalog = IspCatalog::standard();
-  for (const ScenarioConfig& config :
+  for (ScenarioConfig config :
        {ScenarioConfig::mn08(bench::kDefaultSeed),
         ScenarioConfig::pb09(bench::kDefaultSeed), pb10}) {
+    config.threads = threads;
     const Dataset dataset = bench::dataset_for(config);
     const auto rows = top_publisher_isps(dataset, catalog.db(), 10);
     AsciiTable table("Table 2 — " + dataset.name + " top-10 ISPs by fed content");
@@ -29,7 +32,8 @@ int main() {
     }
     if (dataset.style == DatasetStyle::Pb10) {
       const auto hosting = top_hosting_share(
-          IdentityAnalysis(dataset, catalog.db(), 100), catalog.db(), "OVH", 100);
+          IdentityAnalysis(dataset, catalog.db(), 100, {}, threads),
+          catalog.db(), "OVH", 100);
       table.note("top-100 publishers at hosting providers (paper: 42%): " +
                  std::to_string(hosting.at_hosting) + "/" +
                  std::to_string(hosting.considered) + ", of which at OVH: " +

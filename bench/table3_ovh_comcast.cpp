@@ -7,8 +7,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Table 3", "OVH vs Comcast feeder profiles",
                 "pb10: OVH 2213 torrents / 92 IPs / 7 prefixes / 4 locations; "
                 "Comcast 408 / 185 / 139 / 147 — concentrated racks vs "
@@ -19,9 +21,10 @@ int main() {
   AsciiTable table("Table 3 — feeder profiles per dataset");
   table.header({"row", "fed torrents", "IP addr", "/16 pref.", "geo loc.",
                 "consumer IPs"});
-  for (const ScenarioConfig& config :
+  for (ScenarioConfig config :
        {ScenarioConfig::mn08(bench::kDefaultSeed),
         ScenarioConfig::pb09(bench::kDefaultSeed), pb10}) {
+    config.threads = threads;
     const Dataset dataset = bench::dataset_for(config);
     for (const char* isp : {"OVH", "Comcast"}) {
       const IspFeederProfile profile =

@@ -9,8 +9,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Table 4", "Lifetime and publishing rate per business class",
                 "BT Portals 63/466/1816 days at 0.57/11.43/79.91 per day; "
                 "Other Webs rate 0.38/4.31/18.98; Altruistic 10/376/1899 days "
@@ -19,10 +21,10 @@ int main() {
 
   auto ecosystem = bench::build_ecosystem(pb10);
   const Dataset dataset = bench::dataset_for(pb10, *ecosystem);
-  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100);
+  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100, {}, threads);
   Rng rng(pb10.seed);
-  const auto classification =
-      classify_top_publishers(dataset, identity, ecosystem->websites(), 5, rng);
+  const auto classification = classify_top_publishers(
+      dataset, identity, ecosystem->websites(), 5, rng, threads);
 
   AsciiTable table("Table 4 — per-class lifetime and publishing rate");
   table.header({"class", "lifetime days (min/med/avg/max)",

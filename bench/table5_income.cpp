@@ -9,8 +9,10 @@
 
 using namespace btpub;
 
-int main() {
-  const ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::threads_from_args(argc, argv);
+  ScenarioConfig pb10 = ScenarioConfig::pb10(bench::kDefaultSeed);
+  pb10.threads = threads;
   bench::banner("Table 5", "Promoting-website economics per class",
                 "BT Portals value 1K/33K/313K/2.8M USD, income 1/55/440/3.7K "
                 "USD/day, visits 74/21K/174K/1.4M; Other Webs slightly lower "
@@ -19,10 +21,10 @@ int main() {
 
   auto ecosystem = bench::build_ecosystem(pb10);
   const Dataset dataset = bench::dataset_for(pb10, *ecosystem);
-  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100);
+  const IdentityAnalysis identity(dataset, ecosystem->geo(), 100, {}, threads);
   Rng rng(pb10.seed);
-  const auto classification =
-      classify_top_publishers(dataset, identity, ecosystem->websites(), 5, rng);
+  const auto classification = classify_top_publishers(
+      dataset, identity, ecosystem->websites(), 5, rng, threads);
 
   // §5.1 class shares first (the business the incomes ride on).
   AsciiTable shares("§5.1 — class shares among top publishers (paper: "

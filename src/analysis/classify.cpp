@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace btpub {
@@ -21,6 +22,19 @@ bool ends_with_tld(std::string_view s) {
     if (ends_with(s, tld)) return true;
   }
   return false;
+}
+
+std::optional<std::string> payload_domain_from_name(std::string_view name) {
+  static constexpr std::string_view kPrefix = "Visit-www-";
+  static constexpr std::string_view kSuffix = ".txt";
+  if (!starts_with(name, kPrefix) || !ends_with(name, kSuffix)) {
+    return std::nullopt;
+  }
+  std::string flat(
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+  std::replace(flat.begin(), flat.end(), '-', '.');
+  if (ends_with_tld(flat)) return flat;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -78,14 +92,8 @@ std::optional<std::string> domain_from_title(std::string_view title) {
 
 std::optional<std::string> domain_from_payload(
     std::span<const std::string> filenames) {
-  static constexpr std::string_view kPrefix = "Visit-www-";
-  static constexpr std::string_view kSuffix = ".txt";
   for (const std::string& name : filenames) {
-    if (!starts_with(name, kPrefix) || !ends_with(name, kSuffix)) continue;
-    std::string flat =
-        name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
-    std::replace(flat.begin(), flat.end(), '-', '.');
-    if (ends_with_tld(flat)) return flat;
+    if (auto domain = payload_domain_from_name(name)) return domain;
   }
   return std::nullopt;
 }
@@ -103,6 +111,28 @@ std::optional<PromoFinding> find_promotion(const TorrentRecord& record) {
   if (const auto domain = domain_from_payload(record.payload_filenames)) {
     if (finding.domain.empty()) finding.domain = *domain;
     finding.in_payload = true;
+  }
+  if (finding.domain.empty()) return std::nullopt;
+  return finding;
+}
+
+std::optional<PromoFinding> find_promotion(const CompactDatasetView& view,
+                                           const TorrentRecordPod& pod) {
+  PromoFinding finding;
+  if (const auto domain = domain_from_textbox(view.textbox(pod))) {
+    finding.domain = *domain;
+    finding.in_textbox = true;
+  }
+  if (const auto domain = domain_from_title(view.title(pod))) {
+    if (finding.domain.empty()) finding.domain = *domain;
+    finding.in_filename = true;
+  }
+  for (const StrRef& ref : view.filenames_of(pod)) {
+    if (auto domain = payload_domain_from_name(view.str(ref))) {
+      if (finding.domain.empty()) finding.domain = *domain;
+      finding.in_payload = true;
+      break;
+    }
   }
   if (finding.domain.empty()) return std::nullopt;
   return finding;
@@ -138,20 +168,29 @@ std::vector<ClassificationResult::ClassShare> ClassificationResult::shares(
   return out;
 }
 
-ClassificationResult classify_top_publishers(const Dataset& dataset,
-                                             const IdentityAnalysis& identity,
-                                             const WebsiteDirectory& websites,
-                                             std::size_t sample_per_publisher,
-                                             Rng& rng) {
-  ClassificationResult result;
+namespace {
+
+/// The parallel classifier core. Phase 1 (serial): walk top() in order and
+/// draw every torrent sample from the shared rng — the exact serial
+/// consumption sequence. Phase 2 (parallel): build each profile into its
+/// own slot; promotion scans, language counts and site visits only read
+/// frozen state (the dataset, the const WebsiteDirectory). `promo_of` maps
+/// a torrent index to its promotion finding, `language_of` to its content
+/// language.
+template <typename PromoOf, typename LanguageOf>
+ClassificationResult classify_impl(const IdentityAnalysis& identity,
+                                   const WebsiteDirectory& websites,
+                                   std::size_t sample_per_publisher, Rng& rng,
+                                   std::size_t threads, PromoOf&& promo_of,
+                                   LanguageOf&& language_of) {
+  struct Item {
+    const UsernameStats* stats;
+    std::vector<std::size_t> sample;
+  };
+  std::vector<Item> items;
   for (const std::string& username : identity.top()) {
     const UsernameStats* stats = identity.find_username(username);
     if (stats == nullptr) continue;
-    PublisherProfile profile;
-    profile.username = username;
-    profile.content_count = stats->content_count;
-    profile.download_count = stats->download_count;
-
     // Emulate the downloader experience on a sample of this publisher's
     // torrents.
     std::vector<std::size_t> sample = stats->torrents;
@@ -162,8 +201,21 @@ ClassificationResult classify_top_publishers(const Dataset& dataset,
       }
       sample.swap(chosen);
     }
-    for (const std::size_t index : sample) {
-      const auto finding = find_promotion(dataset.torrents[index]);
+    items.push_back(Item{stats, std::move(sample)});
+  }
+
+  ClassificationResult result;
+  result.profiles.resize(items.size());
+  parallel_for_each_index(items.size(), threads, [&](std::size_t p) {
+    const Item& item = items[p];
+    const UsernameStats* stats = item.stats;
+    PublisherProfile profile;
+    profile.username = stats->username;
+    profile.content_count = stats->content_count;
+    profile.download_count = stats->download_count;
+
+    for (const std::size_t index : item.sample) {
+      const auto finding = promo_of(index);
       if (!finding) continue;
       if (profile.domain.empty()) profile.domain = finding->domain;
       profile.in_textbox |= finding->in_textbox;
@@ -174,7 +226,7 @@ ClassificationResult classify_top_publishers(const Dataset& dataset,
     // Dominant language over the full torrent list.
     std::array<std::size_t, 6> lang_counts{};
     for (const std::size_t index : stats->torrents) {
-      ++lang_counts[static_cast<std::size_t>(dataset.torrents[index].language)];
+      ++lang_counts[static_cast<std::size_t>(language_of(index))];
     }
     const auto max_it = std::max_element(lang_counts.begin(), lang_counts.end());
     if (*max_it * 2 >= stats->content_count &&
@@ -185,22 +237,52 @@ ClassificationResult classify_top_publishers(const Dataset& dataset,
 
     if (profile.domain.empty()) {
       profile.cls = BusinessClass::Altruistic;
-    } else if (const auto view = websites.visit(profile.domain)) {
-      profile.signup = view->signup_form;
-      profile.private_tracker = view->tracker_links;
-      profile.ads = view->ad_banners;
-      profile.donations = view->donation_button;
-      profile.vip = view->vip_offer;
+    } else if (const auto site = websites.visit(profile.domain)) {
+      profile.signup = site->signup_form;
+      profile.private_tracker = site->tracker_links;
+      profile.ads = site->ad_banners;
+      profile.donations = site->donation_button;
+      profile.vip = site->vip_offer;
       profile.ad_networks = websites.third_parties(profile.domain);
-      profile.cls = view->torrent_index ? BusinessClass::BtPortal
+      profile.cls = site->torrent_index ? BusinessClass::BtPortal
                                         : BusinessClass::OtherWeb;
     } else {
       // URL resolved nowhere (site gone): best effort, keep it OtherWeb.
       profile.cls = BusinessClass::OtherWeb;
     }
-    result.profiles.push_back(std::move(profile));
-  }
+    result.profiles[p] = std::move(profile);
+  });
   return result;
+}
+
+}  // namespace
+
+ClassificationResult classify_top_publishers(const Dataset& dataset,
+                                             const IdentityAnalysis& identity,
+                                             const WebsiteDirectory& websites,
+                                             std::size_t sample_per_publisher,
+                                             Rng& rng, std::size_t threads) {
+  return classify_impl(
+      identity, websites, sample_per_publisher, rng, threads,
+      [&dataset](std::size_t index) {
+        return find_promotion(dataset.torrents[index]);
+      },
+      [&dataset](std::size_t index) { return dataset.torrents[index].language; });
+}
+
+ClassificationResult classify_top_publishers(const CompactDatasetView& view,
+                                             const IdentityAnalysis& identity,
+                                             const WebsiteDirectory& websites,
+                                             std::size_t sample_per_publisher,
+                                             Rng& rng, std::size_t threads) {
+  return classify_impl(
+      identity, websites, sample_per_publisher, rng, threads,
+      [&view](std::size_t index) {
+        return find_promotion(view, view.torrents[index]);
+      },
+      [&view](std::size_t index) {
+        return static_cast<Language>(view.torrents[index].language);
+      });
 }
 
 }  // namespace btpub

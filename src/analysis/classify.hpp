@@ -39,6 +39,10 @@ std::optional<std::string> domain_from_payload(
 
 /// Scans one crawled torrent for a promoting URL in any channel.
 std::optional<PromoFinding> find_promotion(const TorrentRecord& record);
+/// Span-native overload: reads title/textbox/payload filenames straight
+/// from the view's text arena.
+std::optional<PromoFinding> find_promotion(const CompactDatasetView& view,
+                                           const TorrentRecordPod& pod);
 
 /// The assembled profile of one top publisher.
 struct PublisherProfile {
@@ -81,10 +85,22 @@ struct ClassificationResult {
 
 /// Classifies every member of the Top group, sampling up to
 /// `sample_per_publisher` torrents each (the paper examined "a few").
+/// `threads` fans the per-publisher promotion scans and site visits out
+/// over a worker pool (0 = hardware concurrency). Every torrent sample is
+/// drawn from `rng` serially in top() order before the fan-out, and each
+/// profile is then a pure function of its publisher's torrents written to
+/// its own result slot — byte-identical to serial at any thread count.
 ClassificationResult classify_top_publishers(const Dataset& dataset,
                                              const IdentityAnalysis& identity,
                                              const WebsiteDirectory& websites,
                                              std::size_t sample_per_publisher,
-                                             Rng& rng);
+                                             Rng& rng, std::size_t threads = 1);
+
+/// Span-native overload over the compact view (in-memory or mmap-ed).
+ClassificationResult classify_top_publishers(const CompactDatasetView& view,
+                                             const IdentityAnalysis& identity,
+                                             const WebsiteDirectory& websites,
+                                             std::size_t sample_per_publisher,
+                                             Rng& rng, std::size_t threads = 1);
 
 }  // namespace btpub

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/parallel.hpp"
+
 namespace btpub {
 namespace {
 
@@ -31,44 +33,140 @@ std::vector<DemographicRow> to_rows(
   return rows;
 }
 
-}  // namespace
-
-DownloaderDemographics downloader_demographics(const Dataset& dataset,
-                                               const GeoDb& geo,
-                                               std::size_t top_k) {
-  DownloaderDemographics demo;
-  std::unordered_set<IpAddress> seen;
+/// Per-shard geo aggregation over a slice of the distinct-IP list.
+struct GeoCounts {
+  std::size_t located = 0;
   std::unordered_map<std::string, std::size_t> by_country;
   std::unordered_map<std::string, std::size_t> by_isp;
-  for (const auto& torrent_ips : dataset.downloaders) {
-    for (const IpAddress& ip : torrent_ips) {
-      if (!seen.insert(ip).second) continue;
-      const auto loc = geo.lookup(ip);
-      if (!loc) continue;
-      ++demo.located_ips;
-      ++by_country[std::string(loc->country)];
-      ++by_isp[std::string(loc->isp_name)];
+};
+
+/// The demographics core over any downloader source. `for_each_ip(t, fn)`
+/// invokes fn per downloader IP of torrent t. Two sharded passes: the
+/// dedup scan emits each shard's locally-new IPs (merged into the global
+/// distinct set in span order), then the geo lookups fan out over the
+/// distinct list and merge by commutative sums — both byte-identical to
+/// the serial single pass.
+template <typename ForEachIp>
+DownloaderDemographics demographics_impl(std::size_t torrent_count,
+                                         const GeoDb& geo, std::size_t top_k,
+                                         std::size_t threads,
+                                         ForEachIp&& for_each_ip) {
+  DownloaderDemographics demo;
+
+  auto shards = sharded_scan(
+      torrent_count, threads, [&](std::size_t begin, std::size_t end) {
+        std::unordered_set<IpAddress> local_seen;
+        std::vector<IpAddress> local_new;
+        for (std::size_t t = begin; t < end; ++t) {
+          for_each_ip(t, [&](const IpAddress& ip) {
+            if (local_seen.insert(ip).second) local_new.push_back(ip);
+          });
+        }
+        return local_new;
+      });
+
+  std::unordered_set<IpAddress> seen;
+  std::vector<IpAddress> distinct;
+  for (const auto& shard : shards) {
+    for (const IpAddress& ip : shard) {
+      if (seen.insert(ip).second) distinct.push_back(ip);
     }
   }
   demo.total_distinct_ips = seen.size();
+
+  auto counts = sharded_scan(
+      distinct.size(), threads, [&](std::size_t begin, std::size_t end) {
+        GeoCounts local;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto loc = geo.lookup(distinct[i]);
+          if (!loc) continue;
+          ++local.located;
+          ++local.by_country[std::string(loc->country)];
+          ++local.by_isp[std::string(loc->isp_name)];
+        }
+        return local;
+      });
+  std::unordered_map<std::string, std::size_t> by_country;
+  std::unordered_map<std::string, std::size_t> by_isp;
+  for (const GeoCounts& shard : counts) {
+    demo.located_ips += shard.located;
+    for (const auto& [label, count] : shard.by_country) by_country[label] += count;
+    for (const auto& [label, count] : shard.by_isp) by_isp[label] += count;
+  }
   demo.by_country = to_rows(by_country, demo.located_ips, top_k);
   demo.by_isp = to_rows(by_isp, demo.located_ips, top_k);
   return demo;
 }
 
-std::vector<DemographicRow> publisher_countries(const Dataset& dataset,
-                                                const GeoDb& geo,
-                                                std::size_t top_k) {
+}  // namespace
+
+DownloaderDemographics downloader_demographics(const Dataset& dataset,
+                                               const GeoDb& geo,
+                                               std::size_t top_k,
+                                               std::size_t threads) {
+  return demographics_impl(
+      dataset.downloaders.size(), geo, top_k, threads,
+      [&dataset](std::size_t t, auto&& fn) {
+        for (const IpAddress& ip : dataset.downloaders[t]) fn(ip);
+      });
+}
+
+DownloaderDemographics downloader_demographics(const CompactDatasetView& view,
+                                               const GeoDb& geo,
+                                               std::size_t top_k,
+                                               std::size_t threads) {
+  return demographics_impl(
+      view.torrents.size(), geo, top_k, threads,
+      [&view](std::size_t t, auto&& fn) {
+        const TorrentRecordPod& pod = view.torrents[t];
+        const std::uint32_t n = pod.downloaders.size();
+        for (std::uint32_t i = 0; i < n; ++i) fn(view.downloader_ip(pod, i));
+      });
+}
+
+namespace {
+
+template <typename RowOf>
+std::vector<DemographicRow> publisher_countries_impl(std::size_t torrent_count,
+                                                     const GeoDb& geo,
+                                                     std::size_t top_k,
+                                                     RowOf&& publisher_ip_of) {
   std::unordered_map<std::string, std::size_t> counts;
   std::size_t total = 0;
-  for (const TorrentRecord& record : dataset.torrents) {
-    if (!record.publisher_ip) continue;
-    const auto loc = geo.lookup(*record.publisher_ip);
+  for (std::size_t t = 0; t < torrent_count; ++t) {
+    const std::optional<IpAddress> ip = publisher_ip_of(t);
+    if (!ip) continue;
+    const auto loc = geo.lookup(*ip);
     if (!loc) continue;
     ++counts[std::string(loc->country)];
     ++total;
   }
   return to_rows(counts, total, top_k);
+}
+
+}  // namespace
+
+std::vector<DemographicRow> publisher_countries(const Dataset& dataset,
+                                                const GeoDb& geo,
+                                                std::size_t top_k) {
+  return publisher_countries_impl(
+      dataset.torrents.size(), geo, top_k, [&dataset](std::size_t t) {
+        return dataset.torrents[t].publisher_ip;
+      });
+}
+
+std::vector<DemographicRow> publisher_countries(const CompactDatasetView& view,
+                                                const GeoDb& geo,
+                                                std::size_t top_k) {
+  return publisher_countries_impl(
+      view.torrents.size(), geo, top_k,
+      [&view](std::size_t t) -> std::optional<IpAddress> {
+        const TorrentRecordPod& pod = view.torrents[t];
+        if ((pod.flags & TorrentRecordPod::kHasPublisherIp) == 0) {
+          return std::nullopt;
+        }
+        return IpAddress(pod.publisher_ip);
+      });
 }
 
 }  // namespace btpub

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "crawler/compact_dataset.hpp"
 #include "crawler/dataset.hpp"
 #include "geo/geo_db.hpp"
 
@@ -28,14 +29,30 @@ struct DownloaderDemographics {
 };
 
 /// Maps every distinct downloader IP and aggregates by country and ISP.
-/// `top_k` limits both breakdowns (0 = unlimited).
+/// `top_k` limits both breakdowns (0 = unlimited). `threads` shards both
+/// the per-torrent dedup scan and the geo lookups over a worker pool (0 =
+/// hardware concurrency); shard results merge in span order / by
+/// commutative sums, so the breakdown is byte-identical to serial at any
+/// thread count.
 DownloaderDemographics downloader_demographics(const Dataset& dataset,
                                                const GeoDb& geo,
-                                               std::size_t top_k = 10);
+                                               std::size_t top_k = 10,
+                                               std::size_t threads = 1);
+
+/// Span-native overload over the compact view (in-memory or mmap-ed).
+DownloaderDemographics downloader_demographics(const CompactDatasetView& view,
+                                               const GeoDb& geo,
+                                               std::size_t top_k = 10,
+                                               std::size_t threads = 1);
 
 /// Country breakdown of *publishers* (identified IPs), weighted by
 /// published content — the supply-side counterpart.
 std::vector<DemographicRow> publisher_countries(const Dataset& dataset,
+                                                const GeoDb& geo,
+                                                std::size_t top_k = 10);
+
+/// Span-native overload.
+std::vector<DemographicRow> publisher_countries(const CompactDatasetView& view,
                                                 const GeoDb& geo,
                                                 std::size_t top_k = 10);
 

@@ -55,9 +55,15 @@ std::string_view to_string(TargetGroup g);
 class IdentityAnalysis {
  public:
   /// `top_n` is the size of the "top publishers" cut (the paper's 100).
+  /// `threads` shards the table-building scan across a worker pool (0 =
+  /// hardware concurrency); the tables are byte-identical to a serial
+  /// build at every thread count — shards cover contiguous torrent-index
+  /// spans and merge back in span order, which reproduces the serial
+  /// first-occurrence dedup exactly.
   IdentityAnalysis(const Dataset& dataset, const GeoDb& geo,
                    std::size_t top_n = 100,
-                   FakeDetectionConfig fake_config = {});
+                   FakeDetectionConfig fake_config = {},
+                   std::size_t threads = 1);
 
   /// Span-native overload: reads the struct-of-arrays view (in-memory or
   /// mmap-ed) directly — per-torrent downloader counts and publisher IPs
@@ -65,7 +71,8 @@ class IdentityAnalysis {
   /// view only needs to outlive the constructor.
   IdentityAnalysis(const CompactDatasetView& view, const GeoDb& geo,
                    std::size_t top_n = 100,
-                   FakeDetectionConfig fake_config = {});
+                   FakeDetectionConfig fake_config = {},
+                   std::size_t threads = 1);
 
   /// Usernames sorted by content count, descending.
   const std::vector<UsernameStats>& usernames() const noexcept { return usernames_; }
@@ -115,8 +122,21 @@ class IdentityAnalysis {
   std::size_t total_downloads() const noexcept { return total_downloads_; }
 
  private:
-  void build_tables(const Dataset& dataset);
-  void build_tables(const CompactDatasetView& view);
+  /// One shard's worth of tables, scanned over a contiguous torrent span.
+  struct ShardTables;
+  /// Cross-shard dedup state the in-order merge threads through.
+  struct MergeState;
+
+  /// Sharded scan + in-span-order merge; Access abstracts the row source
+  /// (Dataset vs CompactDatasetView) so both ctors share one code path.
+  template <typename Access>
+  void build_tables(const Access& access, std::size_t threads);
+  /// Folds one shard's tables into the global ones, preserving the serial
+  /// first-occurrence order.
+  void merge_shard(ShardTables&& shard, MergeState& state);
+  /// The post-merge serial tail: per-IP banned counts, the content-count
+  /// sort, and the username re-key.
+  void finish_tables();
   void detect_fakes(const FakeDetectionConfig& config);
   void build_top(const GeoDb& geo, std::size_t top_n);
 

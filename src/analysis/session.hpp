@@ -66,6 +66,12 @@ SeedingMetrics seeding_metrics(const Dataset& dataset,
                                std::span<const std::size_t> torrent_indices,
                                SimDuration offline_gap = hours(4));
 
+/// Span-native overload: sightings come straight from the flat sightings
+/// array via per-torrent [begin, end) spans — no Dataset inflation.
+SeedingMetrics seeding_metrics(const CompactDatasetView& view,
+                               std::span<const std::size_t> torrent_indices,
+                               SimDuration offline_gap = hours(4));
+
 /// The Figure-4 panel: per-group box plots over publishers. "All" is
 /// subsampled to `all_sample` (the paper's random 400). Publishers without
 /// any identified-IP sightings carry no signal and are skipped.
@@ -77,9 +83,22 @@ struct SeedingBox {
   std::size_t publishers = 0;
 };
 
+/// `threads` fans the per-publisher session reconstruction out over a
+/// worker pool (0 = hardware concurrency). The "All" subsample is drawn
+/// from `rng` before any parallel work, and each publisher's metrics are
+/// a pure function of its sightings written to its own result slot — so
+/// the panel is byte-identical to a serial run at any thread count.
 std::vector<SeedingBox> seeding_panel(const Dataset& dataset,
                                       const IdentityAnalysis& identity,
                                       std::size_t all_sample, Rng& rng,
-                                      SimDuration offline_gap = hours(4));
+                                      SimDuration offline_gap = hours(4),
+                                      std::size_t threads = 1);
+
+/// Span-native overload of the Figure-4 panel.
+std::vector<SeedingBox> seeding_panel(const CompactDatasetView& view,
+                                      const IdentityAnalysis& identity,
+                                      std::size_t all_sample, Rng& rng,
+                                      SimDuration offline_gap = hours(4),
+                                      std::size_t threads = 1);
 
 }  // namespace btpub

@@ -81,23 +81,22 @@ CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
       salt_(salt),
       cells_(width_ * depth_) {}
 
-std::size_t CountMinSketch::cell(std::size_t row, std::uint64_t key) const noexcept {
-  // Per-row independent hash: fold the row index into the salted mix.
-  const std::uint64_t h = mix64(key ^ mix64(salt_ + row));
-  return row * width_ + static_cast<std::size_t>(h % width_);
-}
-
 void CountMinSketch::add(std::uint64_t key, std::uint64_t amount) noexcept {
-  for (std::size_t row = 0; row < depth_; ++row) {
-    cells_[cell(row, key)].fetch_add(amount, std::memory_order_relaxed);
+  auto [h, step] = hashes(key);
+  for (std::size_t row = 0; row < depth_; ++row, h += step) {
+    cells_[row * width_ + static_cast<std::size_t>(h % width_)].fetch_add(
+        amount, std::memory_order_relaxed);
   }
   total_.fetch_add(amount, std::memory_order_relaxed);
 }
 
 std::uint64_t CountMinSketch::count(std::uint64_t key) const noexcept {
   std::uint64_t best = ~std::uint64_t{0};
-  for (std::size_t row = 0; row < depth_; ++row) {
-    best = std::min(best, cells_[cell(row, key)].load(std::memory_order_relaxed));
+  auto [h, step] = hashes(key);
+  for (std::size_t row = 0; row < depth_; ++row, h += step) {
+    best = std::min(
+        best, cells_[row * width_ + static_cast<std::size_t>(h % width_)].load(
+                  std::memory_order_relaxed));
   }
   return best;
 }

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace btpub {
@@ -84,7 +85,15 @@ class CountMinSketch {
   double epsilon() const noexcept;
 
  private:
-  std::size_t cell(std::size_t row, std::uint64_t key) const noexcept;
+  /// Kirsch–Mitzenmacher double hashing: one mix of the salted key yields
+  /// (h1, h2), and row r probes column (h1 + r*h2) % width — one hash per
+  /// update instead of one per row, preserving the pairwise-independence
+  /// the CMS error bound needs. h2 is forced odd so consecutive rows never
+  /// collapse onto one column stride.
+  std::pair<std::uint64_t, std::uint64_t> hashes(std::uint64_t key) const noexcept {
+    const std::uint64_t h1 = mix64(key ^ salt_);
+    return {h1, mix64(h1) | 1};
+  }
 
   std::size_t width_;
   std::size_t depth_;

@@ -1,6 +1,7 @@
 #include "core/ecosystem.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
@@ -11,11 +12,18 @@
 #include "crawler/crawler.hpp"
 #include "crawler/dht_crawler.hpp"
 #include "torrent/metainfo.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace btpub {
 namespace {
+
+/// Wall-clock seconds since `start` — the BuildStats phase clock.
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 /// BEP 5 clients refresh their announce well inside the peer store's TTL
 /// (dht::PeerStore::kPeerTtl); this is the simulated cadence.
@@ -53,6 +61,7 @@ void Ecosystem::build() {
   if (built_) throw std::logic_error("Ecosystem::build called twice");
   built_ = true;
 
+  auto clock = std::chrono::steady_clock::now();
   Rng population_rng = rng_.fork();
   population_ = build_population(config_.population, catalog_, population_rng);
 
@@ -64,8 +73,12 @@ void Ecosystem::build() {
     consumers_->add_sticky(endpoint, weight);
   }
   swarm_generator_ = std::make_unique<SwarmGenerator>(*consumers_);
+  build_stats_.seconds_population = seconds_since(clock);
 
+  clock = std::chrono::steady_clock::now();
   backfill_history();
+  build_stats_.seconds_backfill = seconds_since(clock);
+
   generate_publications();
 }
 
@@ -105,20 +118,39 @@ void Ecosystem::backfill_history() {
 }
 
 void Ecosystem::generate_publications() {
-  // Phase 1 — serial, cheap: draw every publication event. Each publisher
-  // owns a derive_seed substream, so its event count and times depend on
-  // nothing but (scenario seed, publisher id).
+  const std::size_t n_threads = ThreadPool::resolve_threads(config_.threads);
+  build_stats_.build_threads = n_threads;
+
+  // Phase 1 — parallel draw: every publisher owns a derive_seed substream,
+  // so its event count and times depend on nothing but (scenario seed,
+  // publisher id). Shards cover contiguous publisher spans and concatenate
+  // in span order, reproducing the serial iteration's pre-sort sequence —
+  // so the sort (a total order over its deterministic input) and the
+  // ordinals below come out byte-identical at any thread count.
+  auto clock = std::chrono::steady_clock::now();
   std::vector<PublicationEvent> events;
   const double window_days = to_days(config_.window);
-  for (const Publisher& p : population_.publishers) {
-    Rng event_rng(derive_seed(config_.seed, kTagPublicationEvents,
-                              static_cast<std::uint64_t>(p.id)));
-    const double mean = p.window_rate * window_days;
-    const std::size_t n = sample_poisson(mean, event_rng);
-    for (std::size_t i = 0; i < n; ++i) {
-      const SimTime at = static_cast<SimTime>(
-          event_rng.uniform() * static_cast<double>(config_.window));
-      events.push_back(PublicationEvent{at, p.id, 0});
+  {
+    const auto shards = sharded_scan(
+        population_.publishers.size(), n_threads,
+        [this, window_days](std::size_t begin, std::size_t end) {
+          std::vector<PublicationEvent> out;
+          for (std::size_t p = begin; p < end; ++p) {
+            const Publisher& publisher = population_.publishers[p];
+            Rng event_rng(derive_seed(config_.seed, kTagPublicationEvents,
+                                      static_cast<std::uint64_t>(publisher.id)));
+            const double mean = publisher.window_rate * window_days;
+            const std::size_t n = sample_poisson(mean, event_rng);
+            for (std::size_t i = 0; i < n; ++i) {
+              const SimTime at = static_cast<SimTime>(
+                  event_rng.uniform() * static_cast<double>(config_.window));
+              out.push_back(PublicationEvent{at, publisher.id, 0});
+            }
+          }
+          return out;
+        });
+    for (const auto& shard : shards) {
+      events.insert(events.end(), shard.begin(), shard.end());
     }
   }
   std::sort(events.begin(), events.end(),
@@ -133,41 +165,36 @@ void Ecosystem::generate_publications() {
     event.ordinal = ordinals[event.publisher]++;
   }
   build_stats_.publication_events = events.size();
+  build_stats_.seconds_draw = seconds_since(clock);
 
   // Phase 2 — parallel, heavy: prepare every publication (metainfo
   // hashing, swarm generation, seed-session planning, decoy injection,
   // finalize). prepare_publication is a pure function of (event, index)
   // given the frozen population/config, drawing only from the event's own
-  // substream — so completion order is irrelevant and any thread count
-  // yields identical drafts.
-  const std::size_t n_threads = ThreadPool::resolve_threads(config_.threads);
-  build_stats_.build_threads = n_threads;
+  // substream — every draft lands in its own slot, so completion order is
+  // irrelevant and any thread count yields identical drafts. Spans are
+  // oversubscribed 16x so one monster swarm cannot serialise a shard's
+  // worth of events behind it.
+  clock = std::chrono::steady_clock::now();
   std::vector<PublicationDraft> drafts(events.size());
-  if (n_threads <= 1 || events.size() <= 1) {
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      drafts[i] = prepare_publication(events[i], i);
-    }
-  } else {
-    ThreadPool pool(n_threads);
-    std::vector<std::future<PublicationDraft>> futures;
-    futures.reserve(events.size());
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      futures.push_back(pool.submit(
-          [this, &event = events[i], i] { return prepare_publication(event, i); }));
-    }
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      drafts[i] = futures[i].get();  // rethrows any worker exception
-    }
-  }
+  parallel_for_each_index(
+      events.size(), n_threads,
+      [this, &events, &drafts](std::size_t i) {
+        drafts[i] = prepare_publication(events[i], i);
+      },
+      n_threads * 16);
+  build_stats_.seconds_prepare = seconds_since(clock);
 
   // Phase 3 — serial, cheap: commit in event order. Portal ids, tracker
   // registration and the truth table are assigned here, so they come out
   // exactly as a sequential build would produce them.
+  clock = std::chrono::steady_clock::now();
   swarms_.reserve(events.size());
   truths_.reserve(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
     commit_publication(events[i], drafts[i]);
   }
+  build_stats_.seconds_commit = seconds_since(clock);
 }
 
 Ecosystem::PublicationDraft Ecosystem::prepare_publication(

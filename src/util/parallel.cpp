@@ -1,0 +1,23 @@
+#include "util/parallel.hpp"
+
+namespace btpub {
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_spans(std::size_t n,
+                                                             std::size_t shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  if (n == 0) return spans;
+  if (shards == 0) shards = 1;
+  const std::size_t count = std::min(n, shards);
+  spans.reserve(count);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    spans.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return spans;
+}
+
+}  // namespace btpub

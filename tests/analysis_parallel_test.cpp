@@ -1,0 +1,313 @@
+// Determinism proof for the parallel batch-analysis engine: every analysis
+// pass — identity tables, business classification, the seeding panel,
+// downloader demographics, top-publisher consumption — produces results
+// byte-identical to a serial run at any thread count, over all three data
+// sources (pointer-heavy Dataset, in-memory CompactDataset view, and an
+// mmap-ed snapshot reloaded from disk). Shards cover contiguous index
+// spans and merge back in span order; RNG-consuming passes draw serially
+// before fanning out; these tests pin both contracts.
+//
+// Thread count for the parallel side defaults to 4 and can be overridden
+// with BTPUB_TEST_THREADS (the TSan CI job exercises 4).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "analysis/classify.hpp"
+#include "analysis/contribution.hpp"
+#include "analysis/demographics.hpp"
+#include "analysis/groups.hpp"
+#include "analysis/session.hpp"
+#include "core/ecosystem.hpp"
+#include "crawler/compact_dataset.hpp"
+#include "crawler/dataset_mmap.hpp"
+
+namespace btpub {
+namespace {
+
+std::size_t parallel_threads() {
+  if (const char* env = std::getenv("BTPUB_TEST_THREADS")) {
+    const auto n = std::strtoull(env, nullptr, 10);
+    if (n > 1) return static_cast<std::size_t>(n);
+  }
+  return 4;
+}
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig config = ScenarioConfig::spoofed(7);
+  config.window = days(3);
+  config.population.regular_publishers /= 4;
+  return config;
+}
+
+void expect_identity_eq(const IdentityAnalysis& a, const IdentityAnalysis& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.usernames().size(), b.usernames().size()) << what;
+  for (std::size_t i = 0; i < a.usernames().size(); ++i) {
+    const UsernameStats& x = a.usernames()[i];
+    const UsernameStats& y = b.usernames()[i];
+    ASSERT_EQ(x.username, y.username) << what << " username " << i;
+    ASSERT_EQ(x.torrents, y.torrents) << what << " " << x.username;
+    ASSERT_EQ(x.content_count, y.content_count) << what << " " << x.username;
+    ASSERT_EQ(x.download_count, y.download_count) << what << " " << x.username;
+    ASSERT_EQ(x.ips, y.ips) << what << " " << x.username;
+    ASSERT_EQ(x.banned, y.banned) << what << " " << x.username;
+  }
+  ASSERT_EQ(a.ips().size(), b.ips().size()) << what;
+  for (std::size_t i = 0; i < a.ips().size(); ++i) {
+    const IpStats& x = a.ips()[i];
+    const IpStats& y = b.ips()[i];
+    ASSERT_EQ(x.ip, y.ip) << what << " ip row " << i;
+    ASSERT_EQ(x.torrents, y.torrents) << what << " " << x.ip.to_string();
+    ASSERT_EQ(x.content_count, y.content_count) << what << " " << x.ip.to_string();
+    ASSERT_EQ(x.usernames, y.usernames) << what << " " << x.ip.to_string();
+    ASSERT_EQ(x.banned_usernames, y.banned_usernames)
+        << what << " " << x.ip.to_string();
+  }
+  EXPECT_EQ(a.top(), b.top()) << what;
+  EXPECT_EQ(a.compromised_in_top(), b.compromised_in_top()) << what;
+  EXPECT_EQ(a.fake_usernames(), b.fake_usernames()) << what;
+  EXPECT_EQ(a.fake_ips(), b.fake_ips()) << what;
+  EXPECT_EQ(a.top_hp(), b.top_hp()) << what;
+  EXPECT_EQ(a.top_ci(), b.top_ci()) << what;
+  EXPECT_EQ(a.total_content(), b.total_content()) << what;
+  EXPECT_EQ(a.total_downloads(), b.total_downloads()) << what;
+  for (TargetGroup g : {TargetGroup::All, TargetGroup::Fake, TargetGroup::Top,
+                        TargetGroup::TopHP, TargetGroup::TopCI}) {
+    EXPECT_EQ(a.share_of(g).content, b.share_of(g).content) << what;
+    EXPECT_EQ(a.share_of(g).downloads, b.share_of(g).downloads) << what;
+  }
+}
+
+void expect_profiles_eq(const ClassificationResult& a,
+                        const ClassificationResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.profiles.size(), b.profiles.size()) << what;
+  for (std::size_t i = 0; i < a.profiles.size(); ++i) {
+    const PublisherProfile& x = a.profiles[i];
+    const PublisherProfile& y = b.profiles[i];
+    ASSERT_EQ(x.username, y.username) << what << " profile " << i;
+    EXPECT_EQ(x.cls, y.cls) << what << " " << x.username;
+    EXPECT_EQ(x.domain, y.domain) << what << " " << x.username;
+    EXPECT_EQ(x.in_textbox, y.in_textbox) << what << " " << x.username;
+    EXPECT_EQ(x.in_filename, y.in_filename) << what << " " << x.username;
+    EXPECT_EQ(x.in_payload, y.in_payload) << what << " " << x.username;
+    EXPECT_EQ(x.ads, y.ads) << what << " " << x.username;
+    EXPECT_EQ(x.donations, y.donations) << what << " " << x.username;
+    EXPECT_EQ(x.vip, y.vip) << what << " " << x.username;
+    EXPECT_EQ(x.signup, y.signup) << what << " " << x.username;
+    EXPECT_EQ(x.private_tracker, y.private_tracker) << what << " " << x.username;
+    EXPECT_EQ(x.ad_networks, y.ad_networks) << what << " " << x.username;
+    EXPECT_EQ(x.content_count, y.content_count) << what << " " << x.username;
+    EXPECT_EQ(x.download_count, y.download_count) << what << " " << x.username;
+    EXPECT_EQ(x.dominant_language, y.dominant_language)
+        << what << " " << x.username;
+  }
+}
+
+void expect_box_eq(const BoxStats& a, const BoxStats& b,
+                   const std::string& what) {
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.p25, b.p25) << what;
+  EXPECT_EQ(a.median, b.median) << what;
+  EXPECT_EQ(a.p75, b.p75) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.count, b.count) << what;
+}
+
+void expect_panel_eq(const std::vector<SeedingBox>& a,
+                     const std::vector<SeedingBox>& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].group, b[i].group) << what << " box " << i;
+    EXPECT_EQ(a[i].publishers, b[i].publishers) << what << " box " << i;
+    expect_box_eq(a[i].seeding_time_hours, b[i].seeding_time_hours, what);
+    expect_box_eq(a[i].parallel_torrents, b[i].parallel_torrents, what);
+    expect_box_eq(a[i].aggregated_session_hours, b[i].aggregated_session_hours,
+                  what);
+  }
+}
+
+void expect_demographics_eq(const DownloaderDemographics& a,
+                            const DownloaderDemographics& b,
+                            const std::string& what) {
+  EXPECT_EQ(a.total_distinct_ips, b.total_distinct_ips) << what;
+  EXPECT_EQ(a.located_ips, b.located_ips) << what;
+  for (const auto& [rows_a, rows_b] :
+       {std::pair{&a.by_country, &b.by_country},
+        std::pair{&a.by_isp, &b.by_isp}}) {
+    ASSERT_EQ(rows_a->size(), rows_b->size()) << what;
+    for (std::size_t i = 0; i < rows_a->size(); ++i) {
+      EXPECT_EQ((*rows_a)[i].label, (*rows_b)[i].label) << what << " row " << i;
+      EXPECT_EQ((*rows_a)[i].downloaders, (*rows_b)[i].downloaders)
+          << what << " " << (*rows_a)[i].label;
+      EXPECT_EQ((*rows_a)[i].share, (*rows_b)[i].share)
+          << what << " " << (*rows_a)[i].label;
+    }
+  }
+}
+
+class AnalysisParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new Ecosystem(small_scenario());
+    ecosystem_->build();
+    dataset_ = new Dataset(ecosystem_->crawl());
+    compact_ = new CompactDataset(compact_dataset(*dataset_));
+    mmap_path_ = (std::filesystem::temp_directory_path() /
+                  "btpub_analysis_parallel_test.ds.mmap")
+                     .string();
+    save_mmap_snapshot(*compact_, mmap_path_);
+    mapped_ = new MappedDataset(mmap_path_);
+  }
+  static void TearDownTestSuite() {
+    delete mapped_;
+    delete compact_;
+    delete dataset_;
+    delete ecosystem_;
+    mapped_ = nullptr;
+    compact_ = nullptr;
+    dataset_ = nullptr;
+    ecosystem_ = nullptr;
+    std::filesystem::remove(mmap_path_);
+  }
+
+  static const GeoDb& geo() { return ecosystem_->geo(); }
+
+  static Ecosystem* ecosystem_;
+  static Dataset* dataset_;
+  static CompactDataset* compact_;
+  static MappedDataset* mapped_;
+  static std::string mmap_path_;
+};
+
+Ecosystem* AnalysisParallelTest::ecosystem_ = nullptr;
+Dataset* AnalysisParallelTest::dataset_ = nullptr;
+CompactDataset* AnalysisParallelTest::compact_ = nullptr;
+MappedDataset* AnalysisParallelTest::mapped_ = nullptr;
+std::string AnalysisParallelTest::mmap_path_;
+
+TEST_F(AnalysisParallelTest, IdentityByteIdenticalAcrossThreads) {
+  const IdentityAnalysis serial(*dataset_, geo(), 100, {}, 1);
+  // 3 is deliberately coprime with typical torrent counts: shard
+  // boundaries land mid-run everywhere, so any merge-order dependence
+  // would show.
+  for (const std::size_t threads : {std::size_t{3}, parallel_threads()}) {
+    expect_identity_eq(serial, IdentityAnalysis(*dataset_, geo(), 100, {}, threads),
+                       "dataset @" + std::to_string(threads));
+  }
+}
+
+TEST_F(AnalysisParallelTest, IdentityByteIdenticalAcrossSources) {
+  const IdentityAnalysis serial(*dataset_, geo(), 100, {}, 1);
+  const std::size_t threads = parallel_threads();
+  expect_identity_eq(
+      serial, IdentityAnalysis(compact_->view(), geo(), 100, {}, threads),
+      "compact view");
+  expect_identity_eq(
+      serial, IdentityAnalysis(mapped_->view(), geo(), 100, {}, threads),
+      "mmap reload");
+}
+
+TEST_F(AnalysisParallelTest, ClassifyByteIdentical) {
+  const IdentityAnalysis identity(*dataset_, geo(), 100, {}, 1);
+  const WebsiteDirectory& websites = ecosystem_->websites();
+  // The torrent sample is drawn serially in top() order before the
+  // fan-out, so the same-seeded rng must land on the same torrents at
+  // every thread count.
+  auto classify_dataset = [&](std::size_t threads) {
+    Rng rng(123);
+    return classify_top_publishers(*dataset_, identity, websites, 2, rng,
+                                   threads);
+  };
+  const ClassificationResult serial = classify_dataset(1);
+  expect_profiles_eq(serial, classify_dataset(parallel_threads()),
+                     "dataset parallel");
+  for (const CompactDatasetView& view : {compact_->view(), mapped_->view()}) {
+    Rng rng(123);
+    expect_profiles_eq(serial,
+                       classify_top_publishers(view, identity, websites, 2,
+                                               rng, parallel_threads()),
+                       "view parallel");
+  }
+}
+
+TEST_F(AnalysisParallelTest, SeedingPanelByteIdentical) {
+  const IdentityAnalysis identity(*dataset_, geo(), 100, {}, 1);
+  auto panel_dataset = [&](std::size_t threads) {
+    Rng rng(99);
+    return seeding_panel(*dataset_, identity, 50, rng, hours(4), threads);
+  };
+  const auto serial = panel_dataset(1);
+  expect_panel_eq(serial, panel_dataset(parallel_threads()), "dataset parallel");
+  for (const CompactDatasetView& view : {compact_->view(), mapped_->view()}) {
+    Rng rng(99);
+    expect_panel_eq(serial,
+                    seeding_panel(view, identity, 50, rng, hours(4),
+                                  parallel_threads()),
+                    "view parallel");
+  }
+}
+
+TEST_F(AnalysisParallelTest, SeedingMetricsMatchAcrossSources) {
+  const IdentityAnalysis identity(*dataset_, geo(), 100, {}, 1);
+  for (const UsernameStats& stats : identity.usernames()) {
+    const SeedingMetrics a = seeding_metrics(*dataset_, stats.torrents);
+    for (const CompactDatasetView& view : {compact_->view(), mapped_->view()}) {
+      const SeedingMetrics b = seeding_metrics(view, stats.torrents);
+      ASSERT_EQ(a.avg_seeding_hours, b.avg_seeding_hours) << stats.username;
+      ASSERT_EQ(a.avg_parallel_torrents, b.avg_parallel_torrents)
+          << stats.username;
+      ASSERT_EQ(a.aggregated_session_hours, b.aggregated_session_hours)
+          << stats.username;
+      ASSERT_EQ(a.torrents_with_data, b.torrents_with_data) << stats.username;
+    }
+  }
+}
+
+TEST_F(AnalysisParallelTest, DemographicsByteIdentical) {
+  const DownloaderDemographics serial =
+      downloader_demographics(*dataset_, geo(), 10, 1);
+  expect_demographics_eq(
+      serial, downloader_demographics(*dataset_, geo(), 10, parallel_threads()),
+      "dataset parallel");
+  for (const CompactDatasetView& view : {compact_->view(), mapped_->view()}) {
+    expect_demographics_eq(
+        serial, downloader_demographics(view, geo(), 10, parallel_threads()),
+        "view parallel");
+  }
+}
+
+TEST_F(AnalysisParallelTest, ConsumptionByteIdentical) {
+  const IdentityAnalysis identity(*dataset_, geo(), 100, {}, 1);
+  const TopConsumptionStats serial =
+      top_publisher_consumption(*dataset_, identity, 100, 1);
+  auto expect_eq = [&](const TopConsumptionStats& other,
+                       const std::string& what) {
+    EXPECT_EQ(serial.considered, other.considered) << what;
+    EXPECT_EQ(serial.zero_downloads, other.zero_downloads) << what;
+    EXPECT_EQ(serial.under_five_downloads, other.under_five_downloads) << what;
+  };
+  expect_eq(top_publisher_consumption(*dataset_, identity, 100,
+                                      parallel_threads()),
+            "dataset parallel");
+  for (const CompactDatasetView& view : {compact_->view(), mapped_->view()}) {
+    expect_eq(top_publisher_consumption(view, identity, 100, parallel_threads()),
+              "view parallel");
+  }
+}
+
+TEST_F(AnalysisParallelTest, ZeroThreadsMeansHardwareConcurrency) {
+  // threads = 0 resolves to hardware concurrency; the result must still be
+  // the serial bytes.
+  expect_identity_eq(IdentityAnalysis(*dataset_, geo(), 100, {}, 1),
+                     IdentityAnalysis(*dataset_, geo(), 100, {}, 0),
+                     "threads=0");
+}
+
+}  // namespace
+}  // namespace btpub
